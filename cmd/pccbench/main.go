@@ -1,0 +1,118 @@
+// Command pccbench regenerates the paper's evaluation: every table and
+// figure, selected with -exp. See DESIGN.md for the experiment index.
+//
+//	pccbench -exp fig7            # the headline comparison
+//	pccbench -exp all -scale 2    # everything at double problem size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pccsim/internal/core"
+	"pccsim/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|fig7|fig8|fig9|fig10|fig11|fig12|ablation|extensions|related|all")
+	nodes := flag.Int("nodes", 16, "processor count")
+	scale := flag.Int("scale", 1, "workload problem-size multiplier")
+	iters := flag.Int("iters", 0, "workload iteration override (0 = defaults)")
+	format := flag.String("format", "table", "output format: table|csv|json (csv supports fig7/fig9/fig10/fig11/fig12; json runs everything)")
+	flag.Parse()
+
+	opts := harness.Options{Nodes: *nodes, Scale: *scale, Iters: *iters}
+	out := os.Stdout
+
+	switch *format {
+	case "json":
+		rep := harness.RunAll(opts)
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "pccbench:", err)
+			os.Exit(1)
+		}
+		return
+	case "csv":
+		var err error
+		switch *exp {
+		case "fig7":
+			err = harness.WriteFig7CSV(out, harness.Fig7(opts))
+		case "fig9":
+			err = harness.WriteFig9CSV(out, harness.Fig9(opts))
+		case "fig10":
+			err = harness.WriteFig10CSV(out, harness.Fig10(opts))
+		case "fig11":
+			err = harness.WriteSweepCSV(out, harness.Fig11(opts))
+		case "fig12":
+			err = harness.WriteSweepCSV(out, harness.Fig12(opts))
+		default:
+			err = fmt.Errorf("no CSV writer for experiment %q", *exp)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccbench:", err)
+			os.Exit(1)
+		}
+		return
+	case "table":
+	default:
+		fmt.Fprintf(os.Stderr, "pccbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			fmt.Fprintln(out, "== Table 1: system configuration (large config shown) ==")
+			cfg := core.DefaultConfig().WithMechanisms(1024*1024, 1024, true)
+			cfg.Nodes = *nodes
+			harness.PrintTable1(out, cfg)
+		case "table2":
+			fmt.Fprintln(out, "== Table 2: applications and data sets ==")
+			harness.PrintTable2(out, opts)
+		case "table3":
+			fmt.Fprintln(out, "== Table 3: number of consumers in producer-consumer patterns ==")
+			harness.PrintTable3(out, harness.Table3(opts))
+		case "fig7":
+			fmt.Fprintln(out, "== Figure 7: speedup, network messages, remote misses ==")
+			harness.PrintFig7(out, harness.Fig7(opts))
+		case "fig8":
+			fmt.Fprintln(out, "== Figure 8: equal silicon area (smarter vs larger caches) ==")
+			harness.PrintFig8(out, harness.Fig8(opts))
+		case "fig9":
+			fmt.Fprintln(out, "== Figure 9: sensitivity to intervention delay ==")
+			harness.PrintFig9(out, harness.Fig9(opts))
+		case "fig10":
+			fmt.Fprintln(out, "== Figure 10: sensitivity to network hop latency (Appbt) ==")
+			harness.PrintFig10(out, harness.Fig10(opts))
+		case "fig11":
+			fmt.Fprintln(out, "== Figure 11: sensitivity to delegate cache size (MG) ==")
+			harness.PrintSweep(out, harness.Fig11(opts))
+		case "fig12":
+			fmt.Fprintln(out, "== Figure 12: sensitivity to RAC size (Appbt) ==")
+			harness.PrintSweep(out, harness.Fig12(opts))
+		case "ablation":
+			fmt.Fprintln(out, "== Ablation: delegation-only vs delegation+updates (§3.2) ==")
+			harness.PrintAblation(out, harness.Ablation(opts))
+		case "extensions":
+			fmt.Fprintln(out, "== §5 extensions: adaptive delay, 2-writer detector, accuracy bound ==")
+			harness.PrintExtensions(out, harness.Extensions(opts))
+		case "related":
+			fmt.Fprintln(out, "== Related work: dynamic self-invalidation vs delegation+updates ==")
+			harness.PrintRelated(out, harness.RelatedWork(opts))
+		default:
+			fmt.Fprintf(os.Stderr, "pccbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *exp == "all" {
+		for _, e := range []string{"table1", "table2", "table3", "fig7", "fig8",
+			"fig9", "fig10", "fig11", "fig12", "ablation", "extensions", "related"} {
+			run(e)
+		}
+		return
+	}
+	run(*exp)
+}

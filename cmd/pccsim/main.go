@@ -1,0 +1,76 @@
+// Command pccsim runs one benchmark on one machine configuration and
+// prints the full statistics report.
+//
+//	pccsim -workload em3d -rac 32768 -deledc 32 -updates
+//	pccsim -workload mg -nodes 16 -scale 2 -hop 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pccsim"
+)
+
+func main() {
+	wl := flag.String("workload", "em3d", "benchmark: "+strings.Join(pccsim.Workloads(), "|"))
+	nodes := flag.Int("nodes", 16, "processor count")
+	scale := flag.Int("scale", 1, "problem-size multiplier")
+	iters := flag.Int("iters", 0, "iteration override (0 = workload default)")
+	racKB := flag.Int("rac", 0, "remote access cache size in bytes (0 = none)")
+	deledc := flag.Int("deledc", 0, "delegate cache entries (0 = delegation off)")
+	updates := flag.Bool("updates", false, "enable speculative updates")
+	delay := flag.Uint64("delay", 50, "intervention delay in cycles")
+	hop := flag.Uint64("hop", 100, "network hop latency in cycles")
+	check := flag.Bool("check", false, "enable runtime coherence invariant checks")
+	traceN := flag.Int("trace", 0, "dump the last N coherence messages after the run")
+	traceLine := flag.Uint64("trace-line", 0, "restrict tracing to one line address")
+	flag.Parse()
+
+	cfg := pccsim.DefaultConfig()
+	cfg.Nodes = *nodes
+	cfg = cfg.WithMechanisms(*racKB, *deledc, *updates)
+	cfg.InterventionDelay = pccsim.Time(*delay)
+	cfg.Network.HopLatency = pccsim.Time(*hop)
+	cfg.CheckInvariants = *check
+
+	var rec *pccsim.TraceRecorder
+	var st *pccsim.Stats
+	var err error
+	if *traceN > 0 {
+		var m *pccsim.Machine
+		m, err = pccsim.NewMachine(cfg)
+		if err == nil {
+			rec = m.Trace(*traceN, pccsim.Addr(*traceLine))
+			st, err = runOn(m, cfg, *wl, *nodes, *scale, *iters)
+		}
+	} else {
+		st, err = pccsim.RunWorkload(cfg, *wl, pccsim.WorkloadParams{
+			Nodes: *nodes, Scale: *scale, Iters: *iters,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pccsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload %s on %d nodes (scale %d)\n", *wl, *nodes, *scale)
+	st.Dump(os.Stdout)
+	if rec != nil {
+		fmt.Printf("\n== last %d coherence messages (%d recorded) ==\n", *traceN, rec.Total())
+		rec.Dump(os.Stdout)
+		fmt.Println("\n== per-line stories ==")
+		rec.DumpStories(os.Stdout)
+	}
+}
+
+// runOn builds the workload and executes it on an existing machine (so a
+// tracer can be attached first).
+func runOn(m *pccsim.Machine, cfg pccsim.Config, wl string, nodes, scale, iters int) (*pccsim.Stats, error) {
+	prog, err := pccsim.BuildWorkload(wl, pccsim.WorkloadParams{Nodes: nodes, Scale: scale, Iters: iters})
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(prog)
+}

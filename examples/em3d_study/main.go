@@ -1,0 +1,61 @@
+// em3d_study reproduces the paper's headline case study in miniature: em3d
+// across the six Figure 7 machine configurations, plus the intervention
+// delay sweep of Figure 9 for this workload. Em3d is the paper's best case
+// (33-40% speedup) because communication dominates and the post-barrier
+// "reload flurry" of NACKs disappears under speculative updates.
+//
+//	go run ./examples/em3d_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pccsim"
+)
+
+func run(cfg pccsim.Config) *pccsim.Stats {
+	st, err := pccsim.RunWorkload(cfg, "em3d", pccsim.WorkloadParams{Nodes: cfg.Nodes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
+
+func main() {
+	base := pccsim.DefaultConfig()
+	baseline := run(base)
+
+	fmt.Println("em3d, 16 nodes — the six Figure 7 configurations")
+	fmt.Printf("%-30s %10s %8s %8s %8s\n", "config", "cycles", "speedup", "msgs", "rmisses")
+	show := func(label string, st *pccsim.Stats) {
+		fmt.Printf("%-30s %10d %8.3f %7.1f%% %7.1f%%\n", label, st.ExecCycles,
+			float64(baseline.ExecCycles)/float64(st.ExecCycles),
+			100*float64(st.TotalMessages())/float64(baseline.TotalMessages()),
+			100*float64(st.RemoteMisses())/float64(baseline.RemoteMisses()))
+	}
+	show("base", baseline)
+	show("32K RAC", run(base.WithMechanisms(32*1024, 0, false)))
+	show("32-entry deledc & 32K RAC", run(base.WithMechanisms(32*1024, 32, true)))
+	show("1K-entry deledc & 1M RAC", run(base.WithMechanisms(1024*1024, 1024, true)))
+	show("1K-entry deledc & 32K RAC", run(base.WithMechanisms(32*1024, 1024, true)))
+	show("32-entry deledc & 1M RAC", run(base.WithMechanisms(1024*1024, 32, true)))
+
+	fmt.Println()
+	fmt.Println("sensitivity to intervention delay (normalized to 5 cycles, Figure 9)")
+	var first uint64
+	for _, d := range []pccsim.Time{5, 50, 500, 5000, 50000, pccsim.NoIntervention} {
+		cfg := base.WithMechanisms(32*1024, 32, true)
+		cfg.InterventionDelay = d
+		st := run(cfg)
+		if first == 0 {
+			first = st.ExecCycles
+		}
+		label := fmt.Sprint(d)
+		if d == pccsim.NoIntervention {
+			label = "infinite"
+		}
+		fmt.Printf("  delay %-10s %10d cycles   %.3f   (updates sent: %d)\n",
+			label, st.ExecCycles, float64(st.ExecCycles)/float64(first), st.UpdatesSent)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: run one benchmark on the baseline machine and on a machine
+// with the paper's mechanisms, and compare what they did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pccsim"
+)
+
+func main() {
+	const workload = "em3d"
+	params := pccsim.WorkloadParams{Nodes: 16, Scale: 1}
+
+	// The baseline Table 1 machine: plain directory write-invalidate.
+	base := pccsim.DefaultConfig()
+	baseStats, err := pccsim.RunWorkload(base, workload, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same machine with a 32 KB RAC, a 32-entry delegate cache, and
+	// speculative updates — the paper's small configuration.
+	mech := base.WithMechanisms(32*1024, 32, true)
+	mechStats, err := pccsim.RunWorkload(mech, workload, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s on %d nodes\n\n", workload, params.Nodes)
+	fmt.Printf("%-28s %15s %15s\n", "", "baseline", "with mechanisms")
+	row := func(name string, b, m uint64) {
+		fmt.Printf("%-28s %15d %15d\n", name, b, m)
+	}
+	row("execution cycles", baseStats.ExecCycles, mechStats.ExecCycles)
+	row("remote misses", baseStats.RemoteMisses(), mechStats.RemoteMisses())
+	row("network messages", baseStats.TotalMessages(), mechStats.TotalMessages())
+	row("network bytes", baseStats.TotalBytes(), mechStats.TotalBytes())
+	row("updates pushed", baseStats.UpdatesSent, mechStats.UpdatesSent)
+
+	fmt.Printf("\nspeedup:               %.3f\n",
+		float64(baseStats.ExecCycles)/float64(mechStats.ExecCycles))
+	fmt.Printf("remote miss reduction: %.1f%%\n",
+		100*(1-float64(mechStats.RemoteMisses())/float64(baseStats.RemoteMisses())))
+	fmt.Printf("traffic reduction:     %.1f%%\n",
+		100*(1-float64(mechStats.TotalMessages())/float64(baseStats.TotalMessages())))
+	fmt.Printf("update accuracy:       %.1f%%\n", 100*mechStats.UpdateAccuracy())
+}

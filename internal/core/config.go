@@ -1,0 +1,196 @@
+// Package core implements the paper's coherence protocol: a directory-based
+// write-invalidate protocol in the SGI Origin family extended with
+// producer-consumer sharing detection (§2.2), directory delegation (§2.3)
+// and speculative updates via delayed intervention (§2.4). Every mechanism
+// lives in the hub (directory controller); the modeled processor is
+// unmodified, exactly as the paper requires.
+package core
+
+import (
+	"fmt"
+
+	"pccsim/internal/network"
+	"pccsim/internal/sim"
+)
+
+// Config describes one simulated machine. The zero value is not valid; use
+// DefaultConfig (Table 1) and modify.
+type Config struct {
+	// Nodes is the number of processor/hub nodes (the paper models 16).
+	Nodes int
+
+	// L1 data cache geometry (Table 1: 2-way, 32 KB, 32 B lines).
+	L1Bytes, L1Ways, L1LineBytes int
+	// L2 unified cache geometry (Table 1: 4-way, 2 MB, 128 B lines).
+	// The L2 line size is the coherence granularity.
+	L2Bytes, L2Ways, L2LineBytes int
+
+	// RACBytes is the remote access cache capacity; 0 disables the RAC
+	// (the baseline system). RACWays is its associativity.
+	RACBytes, RACWays int
+
+	// DelegateEntries is the producer/consumer table size of the
+	// delegate cache; 0 disables delegation (and therefore updates).
+	DelegateEntries int
+	// ConsumerEntries is the consumer-table size; defaults to
+	// 4*DelegateEntries when 0 (hints are cheap, 6 bytes each).
+	ConsumerEntries int
+
+	// DirCacheEntries is the directory cache size whose entries carry
+	// the sharing detector (8k entries on SGI Altix).
+	DirCacheEntries int
+
+	// EnableUpdates turns on speculative updates (requires delegation
+	// and a RAC). Disabling it with delegation on gives the paper's
+	// "delegation-only" ablation.
+	EnableUpdates bool
+
+	// InterventionDelay is the delayed-intervention interval in cycles
+	// (§2.4.1, default 50; Figure 9 sweeps 5..500M). A zero value means
+	// the default; use NoIntervention for the "infinite" point.
+	InterventionDelay sim.Time
+
+	// AdaptiveDelay enables the §5 extension: each producer-consumer
+	// line learns its own intervention delay — halved when a consumer
+	// read beats the intervention (delay too long), doubled when the
+	// producer rewrites the line right after a downgrade (delay too
+	// short). InterventionDelay seeds the per-line hints.
+	AdaptiveDelay bool
+
+	// DetectorWriters selects the sharing detector: 1 (default, the
+	// paper's single-producer detector) or 2 (the §5 extension that
+	// tolerates a stable pair of alternating writers).
+	DetectorWriters int
+
+	// SelfInvalidate enables the related-work baseline the paper
+	// contrasts with (Lebeck & Wood dynamic self-invalidation, with Lai
+	// & Falsafi's last-touch timing approximated by the same delayed
+	// intervention): owners of detected producer-consumer lines eagerly
+	// downgrade after the write burst and push the data home, so
+	// consumer reads become 2-hop home hits instead of 3-hop
+	// interventions — but never local hits. Mutually exclusive with
+	// delegation/updates (it replaces them as the optimization).
+	SelfInvalidate bool
+
+	// Latencies, in 2 GHz processor cycles (Table 1).
+	L1Latency   sim.Time // 2
+	L2Latency   sim.Time // 10
+	DirLatency  sim.Time // hub/directory occupancy per request
+	DRAMLatency sim.Time // 200
+
+	// RetryBackoff is the NACK retry delay.
+	RetryBackoff sim.Time
+
+	// MaxStores is the store-buffer depth: how many store misses a CPU
+	// may have outstanding before it stalls (Table 1: max 16
+	// outstanding L2C misses).
+	MaxStores int
+
+	// BarrierLatency models the (idealized) synchronization cost.
+	BarrierLatency sim.Time
+
+	// Network is the interconnect configuration; Network.Nodes is
+	// forced to Nodes.
+	Network network.Config
+
+	// CheckInvariants enables the runtime coherence checks of §2.5
+	// ("single writer exists" and "consistency within the directory",
+	// checked at the completion of every transaction that incurs an L2
+	// miss). Tests enable it; benchmark sweeps disable it for speed.
+	CheckInvariants bool
+}
+
+// NoIntervention is an InterventionDelay value that disables the delayed
+// intervention entirely (the "Infinite" point of Figure 9): the producer
+// keeps the line EXCL until a consumer's request forces a downgrade.
+const NoIntervention = ^sim.Time(0)
+
+// DefaultConfig returns the Table 1 system: 16 nodes, 2-way 32 KB L1,
+// 4-way 2 MB L2 with 128 B lines, 100-cycle network hops, 200-cycle DRAM,
+// and all paper mechanisms disabled (the baseline). Turn on the RAC,
+// delegation and updates per experiment.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:             16,
+		L1Bytes:           32 * 1024,
+		L1Ways:            2,
+		L1LineBytes:       32,
+		L2Bytes:           2 * 1024 * 1024,
+		L2Ways:            4,
+		L2LineBytes:       128,
+		RACBytes:          0,
+		RACWays:           4,
+		DelegateEntries:   0,
+		DirCacheEntries:   8192,
+		EnableUpdates:     false,
+		InterventionDelay: 50,
+		L1Latency:         2,
+		L2Latency:         10,
+		DirLatency:        20,
+		DRAMLatency:       200,
+		RetryBackoff:      100,
+		MaxStores:         16,
+		BarrierLatency:    200,
+		Network:           network.DefaultConfig(),
+	}
+}
+
+// WithMechanisms returns a copy of c with the paper's mechanisms sized as
+// given: racBytes of RAC, delegateEntries of delegate cache, and updates
+// enabled if both are nonzero. This is the configuration axis of Figure 7.
+func (c Config) WithMechanisms(racBytes, delegateEntries int, updates bool) Config {
+	c.RACBytes = racBytes
+	c.DelegateEntries = delegateEntries
+	c.EnableUpdates = updates && racBytes > 0 && delegateEntries > 0
+	return c
+}
+
+// Validate checks the configuration for consistency.
+func (c *Config) Validate() error {
+	if c.Nodes < 1 || c.Nodes > 64 {
+		return fmt.Errorf("core: Nodes = %d, want 1..64", c.Nodes)
+	}
+	if c.L2LineBytes <= 0 || c.L1LineBytes <= 0 || c.L2LineBytes%c.L1LineBytes != 0 {
+		return fmt.Errorf("core: L2 line (%d) must be a multiple of L1 line (%d)",
+			c.L2LineBytes, c.L1LineBytes)
+	}
+	if c.DelegateEntries > 0 && c.RACBytes == 0 {
+		return fmt.Errorf("core: delegation requires a RAC (the producer pins delegated lines there)")
+	}
+	if c.EnableUpdates && (c.DelegateEntries == 0 || c.RACBytes == 0) {
+		return fmt.Errorf("core: speculative updates require delegation and a RAC")
+	}
+	if c.DirCacheEntries <= 0 {
+		return fmt.Errorf("core: DirCacheEntries must be positive")
+	}
+	if c.MaxStores <= 0 {
+		return fmt.Errorf("core: MaxStores must be positive")
+	}
+	if c.DetectorWriters < 0 || c.DetectorWriters > 2 {
+		return fmt.Errorf("core: DetectorWriters = %d, want 0 (default), 1 or 2", c.DetectorWriters)
+	}
+	if c.SelfInvalidate && (c.DelegateEntries > 0 || c.EnableUpdates) {
+		return fmt.Errorf("core: SelfInvalidate is an alternative baseline; disable delegation/updates")
+	}
+	return nil
+}
+
+// consumerEntries resolves the consumer-table size.
+func (c *Config) consumerEntries() int {
+	if c.ConsumerEntries > 0 {
+		return c.ConsumerEntries
+	}
+	n := 4 * c.DelegateEntries
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// interventionDelay resolves the delayed-intervention interval.
+func (c *Config) interventionDelay() sim.Time {
+	if c.InterventionDelay == 0 {
+		return 50
+	}
+	return c.InterventionDelay
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"pccsim/internal/msg"
+)
+
+// global holds system-wide simulation state shared by all hubs: the
+// abstract data-version oracle used for runtime coherence checking. Every
+// store to a line advances its version; the protocol carries versions in
+// data-bearing messages, and the invariant checker verifies that no node
+// ever observes versions moving backwards and that a writer always holds
+// the latest version when it writes (the simulator-side checks of §2.5).
+type global struct {
+	latest   map[msg.Addr]uint64
+	observed map[observedKey]uint64 // highest version each node has seen, per line
+	check    bool
+}
+
+type observedKey struct {
+	node msg.NodeID
+	addr msg.Addr
+}
+
+func newGlobal(check bool) *global {
+	g := &global{latest: make(map[msg.Addr]uint64), check: check}
+	if check {
+		g.observed = make(map[observedKey]uint64)
+	}
+	return g
+}
+
+// write records a store by node to addr whose cached copy held version
+// held, returning the new version. Under SWMR the writer must hold the
+// latest version; a mismatch is a coherence bug.
+func (g *global) write(node msg.NodeID, addr msg.Addr, held uint64) uint64 {
+	if g.check && held != g.latest[addr] {
+		panic(fmt.Sprintf("core: node %d writes %#x holding version %d, latest is %d (stale-write coherence violation)",
+			node, uint64(addr), held, g.latest[addr]))
+	}
+	g.latest[addr]++
+	return g.latest[addr]
+}
+
+// observe records that node read version v of addr and checks monotonicity:
+// a node that has seen version n must never later read version < n.
+func (g *global) observe(node msg.NodeID, addr msg.Addr, v uint64) {
+	if !g.check {
+		return
+	}
+	k := observedKey{node, addr}
+	if prev, ok := g.observed[k]; ok && v < prev {
+		panic(fmt.Sprintf("core: node %d observed version %d of %#x after version %d (coherence went backwards)",
+			node, v, uint64(addr), prev))
+	}
+	g.observed[k] = v
+}
+
+// latestVersion reports the newest written version of addr (0 if never
+// written).
+func (g *global) latestVersion(addr msg.Addr) uint64 { return g.latest[addr] }

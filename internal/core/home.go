@@ -1,0 +1,550 @@
+package core
+
+import (
+	"fmt"
+
+	"pccsim/internal/cache"
+	"pccsim/internal/directory"
+	"pccsim/internal/msg"
+	"pccsim/internal/predictor"
+	"pccsim/internal/sim"
+)
+
+// homeRequest processes a coherence request at the line's home node.
+func (h *Hub) homeRequest(req *msg.Message) {
+	e := h.dir.Entry(req.Addr)
+
+	// Busy states and update drains NACK everything (§2.3.4, NACK and
+	// retry is how all races resolve).
+	if e.State.Busy() {
+		h.nack(req, false)
+		return
+	}
+
+	if e.State == directory.Dele {
+		h.forwardToDelegated(req, e)
+		return
+	}
+
+	det := h.dirc.Detector(req.Addr)
+	h.st.DirCacheEvicts = h.dirc.Evicts
+
+	switch req.Type {
+	case msg.GetShared:
+		h.homeRead(req, e, det)
+	case msg.GetExcl, msg.Upgrade:
+		h.homeWrite(req, e, det)
+	default:
+		panic(fmt.Sprintf("core: homeRequest got %s", req))
+	}
+}
+
+// forwardToDelegated relays a request to the delegated home and tells the
+// requester where the line now lives (§2.3.2).
+func (h *Hub) forwardToDelegated(req *msg.Message, e *directory.Entry) {
+	if req.Requester == e.Owner {
+		// The producer raced its own delegation: NACK; on retry it
+		// will find itself the acting home (§2.3.4).
+		h.nack(req, false)
+		return
+	}
+	h.sendAfter(h.cfg.DirLatency, &msg.Message{
+		Type: req.Type, Src: h.id, Dst: e.Owner, Addr: req.Addr, Requester: req.Requester,
+		Txn: req.Txn,
+	})
+	if req.Requester != h.id {
+		h.sendAfter(h.cfg.DirLatency, &msg.Message{
+			Type: msg.NewHomeHint, Src: h.id, Dst: req.Requester, Addr: req.Addr,
+			Requester: req.Requester, Owner: e.Owner,
+		})
+	}
+}
+
+// homeRead handles GetShared at the home.
+func (h *Hub) homeRead(req *msg.Message, e *directory.Entry, det *predictor.Detector) {
+	switch e.State {
+	case directory.Unowned:
+		det.OnRead(req.Requester)
+		e.State = directory.Shared
+		e.Sharers = msg.Vector(0).Set(req.Requester)
+		h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+			Type: msg.SharedReply, Src: h.id, Dst: req.Requester, Addr: req.Addr,
+			Requester: req.Requester, Version: e.MemVersion, Txn: req.Txn,
+		})
+	case directory.Shared:
+		det.OnRead(req.Requester)
+		e.Sharers = e.Sharers.Set(req.Requester)
+		h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+			Type: msg.SharedReply, Src: h.id, Dst: req.Requester, Addr: req.Addr,
+			Requester: req.Requester, Version: e.MemVersion, Txn: req.Txn,
+		})
+	case directory.Excl:
+		if e.Owner == req.Requester {
+			// Writeback race: the owner's copy is on its way home.
+			h.nack(req, false)
+			return
+		}
+		det.OnRead(req.Requester)
+		e.State = directory.BusyShared
+		e.Pending = req.Requester
+		e.PendingExcl = false
+		e.PendingTxn = req.Txn
+		h.st.Interventions++
+		h.sendAfter(h.cfg.DirLatency, &msg.Message{
+			Type: msg.Intervention, Src: h.id, Dst: e.Owner, Addr: req.Addr,
+			Requester: req.Requester, Txn: req.Txn, GrantTxn: e.OwnerTxn,
+		})
+	default:
+		panic(fmt.Sprintf("core: homeRead in state %s", e.State))
+	}
+}
+
+// homeWrite handles GetExcl/Upgrade at the home. This is where the
+// producer-consumer detector is consulted and delegation triggered (§2.3.1).
+func (h *Hub) homeWrite(req *msg.Message, e *directory.Entry, det *predictor.Detector) {
+	switch e.State {
+	case directory.Unowned:
+		if req.Type == msg.Upgrade {
+			// The requester's copy must have been invalidated while
+			// the upgrade was in flight; make it re-request.
+			h.nack(req, false)
+			return
+		}
+		det.OnWrite(req.Requester)
+		e.State = directory.Excl
+		e.Owner = req.Requester
+		e.OwnerID = req.Requester
+		e.OwnerTxn = req.Txn
+		e.Sharers = 0
+		h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+			Type: msg.ExclReply, Src: h.id, Dst: req.Requester, Addr: req.Addr,
+			Requester: req.Requester, Version: e.MemVersion, AckCount: 0, Txn: req.Txn,
+		})
+
+	case directory.Shared:
+		if req.Type == msg.Upgrade && !e.Sharers.Has(req.Requester) {
+			h.nack(req, false)
+			return
+		}
+		if e.UpdatesInFlight > 0 {
+			// Keep updates ordered behind the next invalidation
+			// round: defer all writes until pushes are acknowledged.
+			h.nack(req, false)
+			return
+		}
+		if marked := det.OnWrite(req.Requester); marked {
+			e.PC = true
+			h.st.PCLinesMarked++
+		}
+		sharers := e.Sharers.Clear(req.Requester)
+		if det.IsProducerConsumer() {
+			h.st.RecordConsumers(sharers.Count())
+		}
+
+		// Delegation decision (§2.3.1): a stable producer-consumer
+		// pattern with a remote producer hands the directory to it.
+		if h.cfg.DelegateEntries > 0 && det.IsProducerConsumer() && req.Requester != h.id {
+			h.st.Delegations++
+			e.State = directory.Dele
+			e.Owner = req.Requester
+			h.invalidateSharers(req.Addr, sharers, req.Requester, req.Txn)
+			h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+				Type: msg.Delegate, Src: h.id, Dst: req.Requester, Addr: req.Addr,
+				Requester: req.Requester, Version: e.MemVersion,
+				AckCount: sharers.Count(), Sharers: sharers, Txn: req.Txn,
+			})
+			return
+		}
+
+		// Normal write-invalidate path. Per §2.4.2 the old sharing
+		// vector is preserved (Sharers) and the writer recorded in
+		// OwnerID; UpdateSet snapshots the push targets for the
+		// home-is-producer update flow.
+		e.State = directory.Excl
+		e.Owner = req.Requester
+		e.OwnerID = req.Requester
+		e.OwnerTxn = req.Txn
+		e.Sharers = sharers
+		e.UpdateSet = sharers
+		h.invalidateSharers(req.Addr, sharers, req.Requester, req.Txn)
+		reply := &msg.Message{
+			Src: h.id, Dst: req.Requester, Addr: req.Addr,
+			Requester: req.Requester, AckCount: sharers.Count(), Txn: req.Txn,
+			PCHint: h.cfg.SelfInvalidate && det.IsProducerConsumer() && req.Requester != h.id,
+		}
+		if req.Type == msg.Upgrade {
+			reply.Type = msg.UpgradeAck
+			h.sendAfter(h.cfg.DirLatency, reply)
+		} else {
+			reply.Type = msg.ExclReply
+			reply.Version = e.MemVersion
+			h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, reply)
+		}
+
+	case directory.Excl:
+		if req.Type == msg.Upgrade {
+			h.nack(req, false)
+			return
+		}
+		if e.Owner == req.Requester {
+			h.nack(req, false) // writeback race
+			return
+		}
+		det.OnWrite(req.Requester)
+		e.State = directory.BusyExcl
+		e.Pending = req.Requester
+		e.PendingExcl = true
+		e.PendingTxn = req.Txn
+		h.sendAfter(h.cfg.DirLatency, &msg.Message{
+			Type: msg.TransferReq, Src: h.id, Dst: e.Owner, Addr: req.Addr,
+			Requester: req.Requester, Txn: req.Txn, GrantTxn: e.OwnerTxn,
+		})
+
+	default:
+		panic(fmt.Sprintf("core: homeWrite in state %s", e.State))
+	}
+}
+
+// invalidateSharers sends invalidations on behalf of requester; the acks
+// flow directly to the requester.
+func (h *Hub) invalidateSharers(addr msg.Addr, sharers msg.Vector, requester msg.NodeID, txn uint64) {
+	for _, s := range sharers.Nodes() {
+		h.st.Invalidations++
+		h.sendAfter(h.cfg.DirLatency, &msg.Message{
+			Type: msg.Invalidate, Src: h.id, Dst: s, Addr: addr,
+			Requester: requester, Txn: txn,
+		})
+	}
+}
+
+// homeSharedWriteback completes a 3-hop read: the old owner downgraded and
+// sent the home fresh data.
+func (h *Hub) homeSharedWriteback(m *msg.Message) {
+	e := h.dir.Entry(m.Addr)
+	if e.State != directory.BusyShared {
+		panic(fmt.Sprintf("core: SharedWriteback in state %s for %#x", e.State, uint64(m.Addr)))
+	}
+	e.MemVersion = m.Version
+	e.State = directory.Shared
+	// A new read arrived: overwrite the old sharing vector (§2.4.2).
+	e.Sharers = msg.Vector(0).Set(m.Src).Set(e.Pending)
+	e.Pending = msg.None
+}
+
+// homeTransferAck completes a 3-hop ownership transfer. A stale ack — the
+// new owner's writeback arrived first and already resolved the transfer —
+// is recognized by its transaction number and dropped.
+func (h *Hub) homeTransferAck(m *msg.Message) {
+	e := h.dir.Entry(m.Addr)
+	// Transaction numbers are per-requester counters, so the stale-ack
+	// match must be on the (requester, txn) pair.
+	if e.State != directory.BusyExcl || e.PendingTxn != m.Txn || e.Pending != m.Requester {
+		return
+	}
+	e.State = directory.Excl
+	e.Owner = e.Pending
+	e.OwnerID = e.Pending
+	e.OwnerTxn = e.PendingTxn
+	e.Sharers = 0
+	e.Pending = msg.None
+}
+
+// homeWriteback retires an owner's eviction, including the races where the
+// writeback crosses an in-flight intervention: the home then completes the
+// pending request itself from the written-back data.
+func (h *Hub) homeWriteback(m *msg.Message) {
+	e := h.dir.Entry(m.Addr)
+	ack := &msg.Message{Type: msg.WBAck, Src: h.id, Dst: m.Src, Addr: m.Addr, Requester: m.Src}
+	switch {
+	case e.State == directory.Excl && e.Owner == m.Src:
+		if m.Dirty {
+			e.MemVersion = m.Version
+		}
+		e.State = directory.Unowned
+		e.Owner = msg.None
+		h.sendAfter(h.cfg.DirLatency, ack)
+
+	case e.State == directory.BusyShared && e.Owner == m.Src:
+		if m.Dirty {
+			e.MemVersion = m.Version
+		}
+		e.State = directory.Shared
+		e.Sharers = msg.Vector(0).Set(e.Pending)
+		pending := e.Pending
+		e.Pending = msg.None
+		h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+			Type: msg.SharedReply, Src: h.id, Dst: pending, Addr: m.Addr,
+			Requester: pending, Version: e.MemVersion, Txn: e.PendingTxn,
+		})
+		h.sendAfter(h.cfg.DirLatency, ack)
+
+	case e.State == directory.BusyExcl && e.Owner == m.Src:
+		if m.Dirty {
+			e.MemVersion = m.Version
+		}
+		e.State = directory.Excl
+		e.Owner = e.Pending
+		e.OwnerID = e.Pending
+		e.OwnerTxn = e.PendingTxn
+		e.Sharers = 0
+		pending := e.Pending
+		e.Pending = msg.None
+		h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+			Type: msg.ExclReply, Src: h.id, Dst: pending, Addr: m.Addr,
+			Requester: pending, Version: e.MemVersion, AckCount: 0, Txn: e.PendingTxn,
+		})
+		h.sendAfter(h.cfg.DirLatency, ack)
+
+	case e.State == directory.BusyExcl && e.Pending == m.Src:
+		// The transfer's new owner evicted before the old owner's
+		// TransferAck reached us: ownership came and went. Fold the
+		// data home; the stale TransferAck is dropped by its txn.
+		if m.Dirty {
+			e.MemVersion = m.Version
+		}
+		e.State = directory.Unowned
+		e.Owner = msg.None
+		e.OwnerID = msg.None
+		e.Pending = msg.None
+		h.sendAfter(h.cfg.DirLatency, ack)
+
+	default:
+		panic(fmt.Sprintf("core: Writeback from %d in state %s owner=%d for %#x",
+			m.Src, e.State, e.Owner, uint64(m.Addr)))
+	}
+}
+
+// homeEagerWriteback retires a voluntary downgrade under dynamic
+// self-invalidation: the owner keeps a Shared copy and the home becomes
+// the fresh data source. Stale eager writebacks (an older ownership epoch)
+// are dropped; ones that cross an in-flight intervention or transfer
+// complete the pending request from the pushed data.
+func (h *Hub) homeEagerWriteback(m *msg.Message) {
+	e := h.dir.Entry(m.Addr)
+	switch {
+	case e.State == directory.Excl && e.Owner == m.Src && e.OwnerTxn == m.GrantTxn:
+		e.MemVersion = m.Version
+		e.State = directory.Shared
+		e.Sharers = msg.Vector(0).Set(m.Src)
+
+	case e.State == directory.BusyShared && e.Owner == m.Src && e.OwnerTxn == m.GrantTxn:
+		// The downgrade crossed our intervention (which the owner will
+		// drop): complete the pending read from the pushed data.
+		e.MemVersion = m.Version
+		e.State = directory.Shared
+		e.Sharers = msg.Vector(0).Set(m.Src).Set(e.Pending)
+		pending := e.Pending
+		e.Pending = msg.None
+		h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+			Type: msg.SharedReply, Src: h.id, Dst: pending, Addr: m.Addr,
+			Requester: pending, Version: e.MemVersion, Txn: e.PendingTxn,
+		})
+
+	case e.State == directory.BusyExcl && e.Owner == m.Src && e.OwnerTxn == m.GrantTxn:
+		// Crossed a transfer: grant the pending writer from the pushed
+		// data, invalidating the downgraded owner's retained copy.
+		e.MemVersion = m.Version
+		pending := e.Pending
+		e.State = directory.Excl
+		e.Owner = pending
+		e.OwnerID = pending
+		e.OwnerTxn = e.PendingTxn
+		e.Sharers = 0
+		e.Pending = msg.None
+		h.sendAfter(h.cfg.DirLatency, &msg.Message{
+			Type: msg.Invalidate, Src: h.id, Dst: m.Src, Addr: m.Addr,
+			Requester: pending, Txn: e.PendingTxn,
+		})
+		h.st.Invalidations++
+		h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+			Type: msg.ExclReply, Src: h.id, Dst: pending, Addr: m.Addr,
+			Requester: pending, Version: e.MemVersion, AckCount: 1, Txn: e.PendingTxn,
+		})
+
+	default:
+		// Stale epoch (the line moved on): drop.
+	}
+}
+
+// homeUndelegate restores directory control to the home (§2.3.3) and, if
+// the undelegation was triggered by another node's write, handles that
+// request immediately.
+func (h *Hub) homeUndelegate(m *msg.Message) {
+	e := h.dir.Entry(m.Addr)
+	if e.State != directory.Dele || e.Owner != m.Src {
+		panic(fmt.Sprintf("core: Undelegate from %d in state %s owner=%d", m.Src, e.State, e.Owner))
+	}
+	e.MemVersion = m.Version
+	e.Sharers = m.Sharers
+	e.Owner = msg.None
+	e.OwnerID = msg.None
+	e.UpdatePending = false
+	e.UpdatesInFlight = 0
+	// While the line was delegated the home saw none of its traffic, so
+	// the directory-cache detector entry has aged out of its history:
+	// the producer-consumer pattern must be re-established before the
+	// line can be delegated again. This is what makes an undersized
+	// delegate cache expensive (Figure 11).
+	if h.dirc.Resident(m.Addr) {
+		h.dirc.Detector(m.Addr).Reset()
+	}
+	if m.Sharers == 0 {
+		e.State = directory.Unowned
+	} else {
+		e.State = directory.Shared
+	}
+	h.sendAfter(h.cfg.DirLatency, &msg.Message{
+		Type: msg.UndelegateAck, Src: h.id, Dst: m.Src, Addr: m.Addr, Requester: m.Src,
+	})
+	if m.Requester != msg.None && m.Fwd != 0 {
+		fwd := &msg.Message{Type: m.Fwd, Src: h.id, Dst: h.id, Addr: m.Addr,
+			Requester: m.Requester, Txn: m.Txn}
+		h.eng.After(h.cfg.DirLatency, func() { h.homeRequest(fwd) })
+	}
+}
+
+// armHomeIntervention starts the delayed intervention for a line whose
+// producer is the home node itself: §2.4 with the home directory entry
+// playing the producer-table role and home memory the surrogate RAC.
+func (h *Hub) armHomeIntervention(addr msg.Addr) {
+	e := h.dir.Entry(addr)
+	if !e.PC || e.UpdateSet.Clear(h.id) == 0 {
+		return
+	}
+	e.WriteSeq++
+	e.UpdatePending = true
+	seq := e.WriteSeq
+	h.eng.After(h.delayFor(e), func() { h.fireIntervention(addr, e, seq, false) })
+}
+
+// fireIntervention is the delayed-intervention timer body, shared by the
+// home-producer and delegated-producer flows. It downgrades the producer's
+// still-exclusive copy, lands the data in the surrogate memory (home memory
+// or pinned RAC entry), and pushes updates to the last consumer set.
+func (h *Hub) fireIntervention(addr msg.Addr, e *directory.Entry, seq uint64, delegated bool) {
+	if !e.UpdatePending || e.WriteSeq != seq {
+		return // superseded by a newer write or an undelegation
+	}
+	e.UpdatePending = false
+	e.DowngradeAt = uint64(h.eng.Now())
+
+	var v uint64
+	switch {
+	case e.State == directory.Excl && e.Owner == h.id:
+		h.st.Interventions++
+		if l2l := h.l2.Lookup(addr); l2l != nil && l2l.State == cache.Excl {
+			l2l.State = cache.Shared
+			v = l2l.Version
+		} else if delegated {
+			rl := h.rc.Lookup(addr)
+			if rl == nil {
+				return // lost the copy; undelegation is on its way
+			}
+			v = rl.Version
+		} else {
+			v = e.MemVersion // evicted: memory already has it
+		}
+		if delegated {
+			if rl, rv, ok := h.rc.Insert(addr, cache.Shared); ok {
+				rl.Version = v
+				rl.Dirty = true
+				h.handleRACVictim(rv)
+			}
+		} else {
+			e.MemVersion = v
+		}
+		e.State = directory.Shared
+		targets := e.UpdateSet.Clear(h.id)
+		e.Sharers = targets.Set(h.id)
+		h.pushUpdates(addr, e, targets, v)
+
+	case e.State == directory.Shared:
+		// An early consumer read already forced the downgrade; push
+		// to the consumers that have not re-read yet.
+		v = h.producerVersion(addr, e, delegated)
+		targets := e.UpdateSet.Clear(h.id) &^ e.Sharers
+		e.Sharers |= targets
+		h.pushUpdates(addr, e, targets, v)
+	}
+}
+
+// producerVersion finds the current data version at the producer.
+func (h *Hub) producerVersion(addr msg.Addr, e *directory.Entry, delegated bool) uint64 {
+	if l2l := h.l2.Lookup(addr); l2l != nil {
+		return l2l.Version
+	}
+	if delegated {
+		if rl := h.rc.Lookup(addr); rl != nil {
+			return rl.Version
+		}
+	}
+	return e.MemVersion
+}
+
+// delayFor resolves the intervention delay for a line: the configured
+// fixed interval, or — with the §5 adaptive extension — the line's learned
+// hint.
+func (h *Hub) delayFor(e *directory.Entry) sim.Time {
+	if h.cfg.AdaptiveDelay && e.DelayHint > 0 {
+		return sim.Time(e.DelayHint)
+	}
+	return h.cfg.interventionDelay()
+}
+
+// Adaptation bounds for the learned per-line delay.
+const (
+	minAdaptiveDelay = 5
+	maxAdaptiveDelay = 50_000
+	// rewriteWindow: a producer write this soon after a downgrade means
+	// the intervention interrupted an ongoing burst.
+	rewriteWindow = 400
+)
+
+// adaptDelayDown halves a line's delay hint: a consumer read arrived while
+// the producer still held the line exclusively, so updates are too late.
+func (h *Hub) adaptDelayDown(e *directory.Entry) {
+	if !h.cfg.AdaptiveDelay {
+		return
+	}
+	cur := e.DelayHint
+	if cur == 0 {
+		cur = uint64(h.cfg.interventionDelay())
+	}
+	cur /= 2
+	if cur < minAdaptiveDelay {
+		cur = minAdaptiveDelay
+	}
+	e.DelayHint = cur
+}
+
+// adaptDelayUpIfRewrite doubles a line's delay hint when the producer
+// rewrites it immediately after a downgrade: the fixed delay cut a write
+// burst short and caused an avoidable ownership round trip.
+func (h *Hub) adaptDelayUpIfRewrite(e *directory.Entry) {
+	if !h.cfg.AdaptiveDelay || e.DowngradeAt == 0 {
+		return
+	}
+	if uint64(h.eng.Now())-e.DowngradeAt > rewriteWindow {
+		return
+	}
+	cur := e.DelayHint
+	if cur == 0 {
+		cur = uint64(h.cfg.interventionDelay())
+	}
+	cur *= 2
+	if cur > maxAdaptiveDelay {
+		cur = maxAdaptiveDelay
+	}
+	e.DelayHint = cur
+}
+
+// pushUpdates sends speculative updates to the target set.
+func (h *Hub) pushUpdates(addr msg.Addr, e *directory.Entry, targets msg.Vector, v uint64) {
+	for _, c := range targets.Nodes() {
+		h.st.UpdatesSent++
+		e.UpdatesInFlight++
+		h.send(&msg.Message{
+			Type: msg.Update, Src: h.id, Dst: c, Addr: addr, Requester: c, Version: v,
+		})
+	}
+}

@@ -1,0 +1,582 @@
+package core
+
+import (
+	"fmt"
+
+	"pccsim/internal/cache"
+	"pccsim/internal/delegate"
+	"pccsim/internal/directory"
+	"pccsim/internal/mem"
+	"pccsim/internal/msg"
+	"pccsim/internal/network"
+	"pccsim/internal/rac"
+	"pccsim/internal/sim"
+	"pccsim/internal/stats"
+)
+
+// Hub is one node's coherence engine: the processor-side cache controller
+// (L1/L2/RAC, MSHRs) and the directory controller for lines homed here,
+// extended with the delegate cache and the speculative-update machinery.
+type Hub struct {
+	id  msg.NodeID
+	sys *System
+	cfg *Config
+	eng *sim.Engine
+	net *network.Network
+	mm  *mem.Memory
+	st  *stats.Stats
+	gl  *global
+
+	l1   *cache.Cache
+	l2   *cache.Cache
+	rc   *rac.RAC // nil when the RAC is disabled
+	dir  *directory.Directory
+	dirc *directory.DirCache
+	prod *delegate.ProducerTable // nil when delegation is disabled
+	cons *delegate.ConsumerTable // nil when delegation is disabled
+
+	mshrs  map[msg.Addr]*mshr
+	txnSeq uint64
+}
+
+// mshr tracks one outstanding L2-miss transaction.
+type mshr struct {
+	addr     msg.Addr
+	txn      uint64 // current attempt's transaction number
+	wantExcl bool
+	upgrade  bool   // current attempt is an Upgrade (have a Shared copy)
+	upgVer   uint64 // version of the Shared copy at upgrade issue time
+	done     func()
+
+	dataReady  bool
+	version    uint64
+	fillState  cache.State
+	acksNeeded int // -1: no ack count received yet
+	acksGot    int
+
+	// Classification of the eventual miss (see stats.MissClass).
+	homeRemote     bool
+	ownerForwarded bool
+	viaRAC         bool
+	invalsRemote   bool
+
+	// invalidated is set when an Invalidate arrives while this read is
+	// pending: the fill satisfies the waiting load once but must not be
+	// cached (the copy is already stale under the home's serialization).
+	invalidated bool
+
+	// target is where the current attempt's request was sent (the home,
+	// the delegated home, or this node); the miss classification counts
+	// network legs from it.
+	target msg.NodeID
+
+	// deferred holds an Intervention or TransferReq that arrived while
+	// our own exclusive fill was still in flight; it is serviced right
+	// after the fill completes (the home is busy until then).
+	deferred *msg.Message
+
+	// pcHint marks a grant for a detected producer-consumer line; under
+	// dynamic self-invalidation the owner arms an eager downgrade.
+	pcHint bool
+
+	// undelegateOnDone defers an undelegation that could not be hosted
+	// (the RAC set for the line is fully pinned) until the write that
+	// triggered the delegation completes.
+	undelegateOnDone bool
+
+	waiters []func()
+}
+
+// class counts the network legs on the transaction's critical path:
+// request to the (delegated) home, a forward to a third-party owner, and
+// the response. Local writes that only needed remote invalidations are
+// 2-hop (invalidation out, acknowledgement back).
+func (m *mshr) class() stats.MissClass {
+	switch {
+	case m.viaRAC:
+		return stats.MissLocalRAC
+	case m.ownerForwarded && m.homeRemote:
+		return stats.MissRemote3Hop
+	case m.ownerForwarded || m.homeRemote || m.invalsRemote:
+		return stats.MissRemote2Hop
+	default:
+		return stats.MissLocalHome
+	}
+}
+
+func newHub(sys *System, id msg.NodeID, st *stats.Stats) *Hub {
+	cfg := &sys.Cfg
+	h := &Hub{
+		id:    id,
+		sys:   sys,
+		cfg:   cfg,
+		eng:   sys.Eng,
+		net:   sys.Net,
+		mm:    sys.Mem,
+		st:    st,
+		gl:    sys.glob,
+		l1:    cache.New(cfg.L1Bytes, cfg.L1Ways, cfg.L1LineBytes),
+		l2:    cache.New(cfg.L2Bytes, cfg.L2Ways, cfg.L2LineBytes),
+		dir:   directory.New(),
+		dirc:  directory.NewDirCache(cfg.DirCacheEntries, 4),
+		mshrs: make(map[msg.Addr]*mshr),
+	}
+	if cfg.RACBytes > 0 {
+		h.rc = rac.New(cfg.RACBytes, cfg.RACWays, cfg.L2LineBytes)
+	}
+	if cfg.DelegateEntries > 0 {
+		h.prod = delegate.NewProducerTable(cfg.DelegateEntries)
+		h.cons = delegate.NewConsumerTable(cfg.consumerEntries())
+	}
+	if cfg.DetectorWriters == 2 {
+		h.dirc.SetPairMode(true)
+	}
+	sys.Net.Register(id, h.dispatch)
+	return h
+}
+
+// ID returns the node identifier.
+func (h *Hub) ID() msg.NodeID { return h.id }
+
+// Outstanding reports the number of in-flight L2 miss transactions.
+func (h *Hub) Outstanding() int { return len(h.mshrs) }
+
+// send routes a message; node-to-self transfers use the hub-internal
+// crossbar and are not network traffic.
+func (h *Hub) send(m *msg.Message) {
+	if m.Dst == h.id {
+		h.eng.After(h.cfg.Network.LocalLatency, func() { h.dispatch(m) })
+		return
+	}
+	h.net.Send(m)
+}
+
+// sendAfter delays a send (directory occupancy, DRAM access).
+func (h *Hub) sendAfter(d sim.Time, m *msg.Message) {
+	h.eng.After(d, func() { h.send(m) })
+}
+
+// line returns the L2-line-aligned address of addr.
+func (h *Hub) line(addr msg.Addr) msg.Addr { return h.l2.Align(addr) }
+
+// home returns the line's home node, applying first-touch placement.
+func (h *Hub) home(addr msg.Addr) msg.NodeID { return h.mm.Home(addr, h.id) }
+
+// Access performs one processor memory operation. done runs when the
+// access is architecturally complete (data returned for loads, ownership
+// and the store commit for stores).
+func (h *Hub) Access(addr msg.Addr, write bool, done func()) {
+	if write {
+		h.st.Stores++
+	} else {
+		h.st.Loads++
+	}
+	line := h.line(addr)
+
+	// L1 hit path. Writes additionally require L2 exclusivity (write
+	// permission is held at the coherence granularity).
+	if h.l1.Touch(addr) != nil {
+		if !write {
+			l2l := h.l2.Touch(line)
+			if l2l == nil {
+				// Inclusion violation would be a bug; L1 valid
+				// implies L2 valid.
+				panic(fmt.Sprintf("core: node %d L1 hit without L2 line %#x", h.id, uint64(line)))
+			}
+			h.st.L1Hits++
+			h.gl.observe(h.id, line, l2l.Version)
+			h.eng.After(h.cfg.L1Latency, done)
+			return
+		}
+		if l2l := h.l2.Touch(line); l2l != nil && l2l.State == cache.Excl {
+			h.st.L1Hits++
+			h.doStore(l2l)
+			h.eng.After(h.cfg.L1Latency, done)
+			return
+		}
+		// Write to a Shared line: fall through to the upgrade path.
+	}
+
+	// L2 hit path.
+	if l2l := h.l2.Touch(line); l2l != nil {
+		if !write {
+			h.st.L2Hits++
+			h.fillL1(addr)
+			h.gl.observe(h.id, line, l2l.Version)
+			h.eng.After(h.cfg.L2Latency, done)
+			return
+		}
+		if l2l.State == cache.Excl {
+			h.st.L2Hits++
+			h.doStore(l2l)
+			h.fillL1(addr)
+			h.eng.After(h.cfg.L2Latency, done)
+			return
+		}
+		// Shared: upgrade transaction.
+		h.startMiss(addr, line, true, done)
+		return
+	}
+
+	// L2 miss: the RAC may satisfy it locally.
+	if h.rc != nil {
+		if rl := h.rc.Touch(line); rl != nil {
+			if h.serveFromRAC(addr, line, rl, write, done) {
+				return
+			}
+		}
+	}
+	h.startMiss(addr, line, write, done)
+}
+
+// serveFromRAC tries to satisfy an L2 miss from the local RAC, reporting
+// whether the access was fully handled.
+func (h *Hub) serveFromRAC(addr, line msg.Addr, rl *rac.Line, write bool, done func()) bool {
+	// Writes to delegated lines must run the delegated-home write flow
+	// (invalidating consumers); never short-circuit them here.
+	if write && h.prod != nil && h.prod.Peek(line) != nil {
+		return false
+	}
+	if !write {
+		if rl.FromUpdate && !rl.Consumed {
+			rl.Consumed = true
+			h.st.UpdatesUseful++
+		}
+		st, v, dirty, g := rl.State, rl.Version, rl.Dirty, rl.Grant
+		if !rl.Pinned {
+			h.rc.Invalidate(line) // victim-cache move into L2
+		} else {
+			// Pinned master copy stays authoritative in the RAC;
+			// the processor-side copy is a clean Shared one.
+			st = cache.Shared
+			dirty = false
+		}
+		l2l := h.fillL2(line, st, v, dirty)
+		l2l.Grant = g
+		h.fillL1(addr)
+		h.st.RACHits++
+		h.st.RecordMiss(stats.MissLocalRAC)
+		h.gl.observe(h.id, line, v)
+		h.eng.After(h.cfg.L2Latency+h.cfg.DirLatency, done)
+		return true
+	}
+	if rl.State == cache.Excl && !rl.Pinned {
+		// Victim-cached owner copy: silently re-acquire.
+		v, g := rl.Version, rl.Grant
+		h.rc.Invalidate(line)
+		l2l := h.fillL2(line, cache.Excl, v, true)
+		l2l.Grant = g
+		h.doStore(l2l)
+		h.fillL1(addr)
+		h.st.RACHits++
+		h.st.RecordMiss(stats.MissLocalRAC)
+		h.eng.After(h.cfg.L2Latency+h.cfg.DirLatency, done)
+		return true
+	}
+	if rl.State == cache.Shared && !rl.Pinned {
+		// Promote to L2 Shared, then upgrade for ownership.
+		if rl.FromUpdate && !rl.Consumed {
+			// The producer pushed data we are about to overwrite.
+			h.st.UpdatesWasted++
+		}
+		v, dirty := rl.Version, rl.Dirty
+		h.rc.Invalidate(line)
+		h.fillL2(line, cache.Shared, v, dirty)
+		h.startMiss(addr, line, true, done)
+		return true
+	}
+	return false
+}
+
+// doStore commits a store to an exclusively held L2 line.
+func (h *Hub) doStore(l2l *cache.Line) {
+	l2l.Version = h.gl.write(h.id, l2l.Addr, l2l.Version)
+	l2l.Dirty = true
+}
+
+// fillL1 installs the 32-byte L1 line containing addr.
+func (h *Hub) fillL1(addr msg.Addr) {
+	h.l1.Insert(addr, cache.Shared) // L1 victims are clean copies; drop silently
+}
+
+// fillL2 installs a line into L2 and handles the displaced victim. dirty
+// marks data newer than the home's memory copy (e.g. a dirty owner line
+// moving back from the RAC) so a later eviction writes it back.
+func (h *Hub) fillL2(line msg.Addr, st cache.State, version uint64, dirty bool) *cache.Line {
+	// L2 and (unpinned) RAC never hold the same line: a stale victim
+	// copy left behind would survive later invalidations and transfers
+	// that find and act on the L2 copy first. Pinned entries are the
+	// delegated master copies, maintained by the delegation flow.
+	if h.rc != nil {
+		if rl := h.rc.Lookup(line); rl != nil && !rl.Pinned {
+			v := h.rc.Invalidate(line)
+			if v.FromUpdate && !v.Consumed {
+				h.st.UpdatesWasted++
+			}
+		}
+	}
+	l, victim := h.l2.Insert(line, st)
+	l.Version = version
+	l.Dirty = dirty
+	if victim.Valid {
+		h.evictL2(victim)
+	}
+	return l
+}
+
+// evictL2 disposes of an L2 victim line: back-invalidate L1 (inclusion),
+// victim-cache remote lines in the RAC, write dirty data home.
+func (h *Hub) evictL2(v cache.Victim) {
+	h.l1.InvalidateRange(v.Addr, h.cfg.L2LineBytes)
+	home := h.home(v.Addr)
+
+	// Delegated lines: the pinned RAC entry is the surrogate memory.
+	if h.prod != nil {
+		if pe := h.prod.Peek(v.Addr); pe != nil {
+			if v.State == cache.Excl {
+				if rl, rv, ok := h.rc.Insert(v.Addr, cache.Excl); ok {
+					rl.Version = v.Version
+					rl.Dirty = true
+					h.handleRACVictim(rv)
+					return
+				}
+				// No room to host the master copy: undelegate
+				// with the data (§2.3.3 reason 2).
+				h.undelegate(pe, stats.UndelFlush, v.Version, nil)
+				return
+			}
+			// Shared copy of a delegated line: the RAC retains the
+			// master copy; nothing to do.
+			return
+		}
+	}
+
+	if home == h.id {
+		// Locally homed: an exclusive victim retires exactly like a
+		// writeback message, including the races where the directory
+		// is busy with an intervention aimed at us.
+		if v.State == cache.Excl {
+			h.homeWriteback(&msg.Message{
+				Type: msg.Writeback, Src: h.id, Dst: h.id, Addr: v.Addr,
+				Requester: h.id, Version: v.Version, Dirty: v.Dirty,
+			})
+		}
+		// A Shared victim leaves a stale sharer bit; later
+		// invalidations to it are acknowledged without a copy.
+		return
+	}
+
+	// Remote line: prefer the RAC as a victim cache.
+	if h.rc != nil {
+		if rl, rv, ok := h.rc.Insert(v.Addr, v.State); ok {
+			rl.Version = v.Version
+			rl.Dirty = v.Dirty
+			rl.Grant = v.Grant
+			h.handleRACVictim(rv)
+			return
+		}
+	}
+	if v.State == cache.Excl {
+		h.send(&msg.Message{
+			Type: msg.Writeback, Src: h.id, Dst: home, Addr: v.Addr,
+			Requester: h.id, Version: v.Version, Dirty: v.Dirty,
+		})
+	}
+	// Clean Shared victims drop silently.
+}
+
+// handleRACVictim disposes of an entry displaced from the RAC.
+func (h *Hub) handleRACVictim(v rac.Victim) {
+	if !v.Valid {
+		return
+	}
+	if v.FromUpdate && !v.Consumed {
+		h.st.UpdatesWasted++
+	}
+	if v.State == cache.Excl {
+		h.send(&msg.Message{
+			Type: msg.Writeback, Src: h.id, Dst: h.home(v.Addr), Addr: v.Addr,
+			Requester: h.id, Version: v.Version, Dirty: v.Dirty,
+		})
+	}
+}
+
+// startMiss begins (or merges into) an L2-miss transaction for line.
+func (h *Hub) startMiss(addr, line msg.Addr, write bool, done func()) {
+	if m := h.mshrs[line]; m != nil {
+		// Merge: replay the access after the current transaction.
+		m.waiters = append(m.waiters, func() { h.Access(addr, write, done) })
+		return
+	}
+	m := &mshr{addr: line, wantExcl: write, done: done, acksNeeded: -1}
+	h.mshrs[line] = m
+	h.issue(m)
+}
+
+// issue (re)issues the request for an MSHR, re-evaluating the route each
+// time: local producer table first, then consumer-table hint, then home.
+func (h *Hub) issue(m *mshr) {
+	m.upgrade = false
+	m.homeRemote = false
+	m.ownerForwarded = false
+	m.invalsRemote = false
+	m.dataReady = false
+	m.acksNeeded = -1
+	m.acksGot = 0
+	m.invalidated = false
+	m.pcHint = false
+	m.target = h.id
+	h.txnSeq++
+	m.txn = h.txnSeq
+
+	reqType := msg.GetShared
+	if m.wantExcl {
+		reqType = msg.GetExcl
+		if l := h.l2.Lookup(m.addr); l != nil && l.State == cache.Shared {
+			reqType = msg.Upgrade
+			m.upgrade = true
+			// The MSHR stashes the data (hardware: the CRB holds the
+			// line) in case the Shared copy is evicted while the
+			// upgrade is in flight.
+			m.upgVer = l.Version
+		}
+	}
+
+	// Delegated to us: handle at the local delegate cache.
+	if h.prod != nil {
+		if pe := h.prod.Lookup(m.addr); pe != nil {
+			h.eng.After(h.cfg.L2Latency+h.cfg.DirLatency, func() {
+				h.localDelegated(m, reqType)
+			})
+			return
+		}
+	}
+
+	home := h.home(m.addr)
+	target := home
+	if h.cons != nil && home != h.id {
+		if hint, ok := h.cons.Lookup(m.addr); ok && hint != h.id {
+			target = hint
+		}
+	}
+	if target != h.id {
+		m.homeRemote = true
+	}
+	m.target = target
+	h.sendAfter(h.cfg.L2Latency, &msg.Message{
+		Type: reqType, Src: h.id, Dst: target, Addr: m.addr, Requester: h.id, Txn: m.txn,
+	})
+}
+
+// retry schedules a re-issue after a NACK, with a per-node stagger to
+// break symmetric livelock between competing requesters.
+func (h *Hub) retry(m *mshr) {
+	h.st.Retries++
+	backoff := h.cfg.RetryBackoff + sim.Time(h.id)*7
+	h.eng.After(backoff, func() {
+		if h.mshrs[m.addr] == m {
+			h.issue(m)
+		}
+	})
+}
+
+// tryComplete finishes the transaction once data and all invalidation
+// acknowledgements have arrived.
+func (h *Hub) tryComplete(m *mshr) {
+	if !m.dataReady || m.acksNeeded < 0 || m.acksGot < m.acksNeeded {
+		return
+	}
+	delete(h.mshrs, m.addr)
+	h.st.RecordMiss(m.class())
+
+	if m.invalidated && !m.wantExcl {
+		// Use-once fill: satisfy the load without caching stale data.
+		h.gl.observe(h.id, m.addr, m.version)
+		h.eng.After(h.cfg.L2Latency, m.done)
+		for _, w := range m.waiters {
+			w()
+		}
+		h.checkInvariants(m.addr)
+		return
+	}
+
+	l2l := h.fillL2(m.addr, m.fillState, m.version, false)
+	if m.wantExcl {
+		l2l.Grant = m.txn // ownership epoch (see msg.Message.GrantTxn)
+		h.doStore(l2l)
+	}
+	h.fillL1(m.addr)
+	h.gl.observe(h.id, m.addr, l2l.Version)
+
+	// A freshly written producer-consumer line arms the delayed
+	// intervention (§2.4.1), which will downgrade the line and push
+	// updates. Lines homed here run the same flow against the home
+	// directory entry; delegated lines against the producer table.
+	// Dynamic self-invalidation: a granted producer-consumer line arms
+	// an eager downgrade after the (same) delayed-intervention interval.
+	if m.wantExcl && h.cfg.SelfInvalidate && m.pcHint &&
+		h.cfg.InterventionDelay != NoIntervention {
+		h.armSelfDowngrade(m.addr, l2l.Grant)
+	}
+
+	updatesOn := h.cfg.EnableUpdates && h.cfg.InterventionDelay != NoIntervention
+	if m.wantExcl && h.prod != nil {
+		if pe := h.prod.Peek(m.addr); pe != nil {
+			if m.undelegateOnDone {
+				h.undelegate(pe, stats.UndelFlush, l2l.Version, nil)
+			} else if updatesOn {
+				h.armIntervention(pe)
+			}
+		} else if m.undelegateOnDone {
+			h.undelegateNoEntry(m.addr, l2l.Version)
+		} else if updatesOn && h.home(m.addr) == h.id {
+			h.armHomeIntervention(m.addr)
+		}
+	}
+
+	h.eng.After(h.cfg.L2Latency, m.done)
+	for _, w := range m.waiters {
+		w()
+	}
+
+	// Service an intervention or ownership transfer that arrived while
+	// our fill was in flight (the home serialized it after us and is
+	// busy waiting for this node).
+	if m.deferred != nil {
+		d := m.deferred
+		h.eng.After(h.cfg.DirLatency, func() { h.dispatch(d) })
+	}
+
+	h.checkInvariants(m.addr)
+}
+
+// armSelfDowngrade schedules the dynamic-self-invalidation eager
+// downgrade: after the delay, if we still own the line under the same
+// epoch, downgrade to Shared and push the data home.
+func (h *Hub) armSelfDowngrade(line msg.Addr, grant uint64) {
+	h.eng.After(h.cfg.interventionDelay(), func() {
+		l2l := h.l2.Lookup(line)
+		if l2l == nil || l2l.State != cache.Excl || l2l.Grant != grant {
+			return // evicted, transferred, or re-granted since
+		}
+		l2l.State = cache.Shared
+		l2l.Dirty = false // the eager writeback cleans it
+		h.st.SelfDowngrades++
+		h.send(&msg.Message{
+			Type: msg.EagerWriteback, Src: h.id, Dst: h.home(line), Addr: line,
+			Requester: h.id, Version: l2l.Version, Dirty: true, GrantTxn: grant,
+		})
+	})
+}
+
+// nack sends a NACK for a request message back to its requester.
+func (h *Hub) nack(req *msg.Message, notHome bool) {
+	t := msg.Nack
+	if notHome {
+		t = msg.NackNotHome
+	}
+	h.sendAfter(h.cfg.DirLatency, &msg.Message{
+		Type: t, Src: h.id, Dst: req.Requester, Addr: req.Addr, Requester: req.Requester,
+		Txn: req.Txn,
+	})
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"pccsim/internal/cache"
+	"pccsim/internal/directory"
+	"pccsim/internal/msg"
+)
+
+// checkInvariants runs the §2.5 runtime checks for one line at the
+// completion of an L2-miss transaction: "single writer exists" and
+// "consistency within the directory". Version checks (no stale writes, no
+// backwards reads) run continuously in global.write/observe.
+func (h *Hub) checkInvariants(addr msg.Addr) {
+	if !h.cfg.CheckInvariants {
+		return
+	}
+	h.sys.CheckLine(addr)
+}
+
+// CheckLine verifies the coherence invariants for one line across the
+// whole machine, panicking on violation. Exported for tests and for the
+// simulator-side invariant checking the paper describes.
+func (s *System) CheckLine(addr msg.Addr) {
+	var exclusive, shared msg.Vector
+	for _, hub := range s.Hubs {
+		if l := hub.l2.Lookup(addr); l != nil {
+			if l.State == cache.Excl {
+				exclusive = exclusive.Set(hub.id)
+			} else {
+				shared = shared.Set(hub.id)
+			}
+		}
+		if hub.rc != nil {
+			if rl := hub.rc.Lookup(addr); rl != nil {
+				if rl.State == cache.Excl && !rl.Pinned {
+					exclusive = exclusive.Set(hub.id)
+				} else {
+					shared = shared.Set(hub.id)
+				}
+			}
+		}
+	}
+
+	// Single-writer-multiple-reader: at most one node exclusive, and no
+	// other node may hold any copy while one does.
+	if exclusive.Count() > 1 {
+		panic(fmt.Sprintf("core: SWMR violation on %#x: exclusive at nodes %v",
+			uint64(addr), exclusive.Nodes()))
+	}
+	if exclusive.Count() == 1 {
+		owner := exclusive.Only()
+		if others := shared.Clear(owner); others != 0 {
+			panic(fmt.Sprintf("core: SWMR violation on %#x: owner %d with copies at %v",
+				uint64(addr), owner, others.Nodes()))
+		}
+	}
+
+	// Directory consistency: a home entry in SHARED or UNOWNED must not
+	// coexist with an exclusive holder anywhere. (EXCL-without-holder is
+	// a legal transient while a writeback is in flight, so it is not
+	// checked; DELE entries are validated against the producer table.)
+	home, ok := s.Mem.HomeIfPlaced(addr)
+	if !ok {
+		return
+	}
+	e := s.Hubs[home].dir.Peek(addr)
+	if e == nil {
+		return
+	}
+	switch e.State {
+	case directory.Shared, directory.Unowned:
+		if exclusive != 0 {
+			panic(fmt.Sprintf("core: directory inconsistency on %#x: home says %s but node %d is exclusive",
+				uint64(addr), e.State, exclusive.Only()))
+		}
+	case directory.Excl:
+		// The owner recorded at the directory must be the only
+		// possible exclusive holder.
+		if exclusive != 0 && exclusive.Only() != e.Owner {
+			panic(fmt.Sprintf("core: directory inconsistency on %#x: home owner %d but node %d is exclusive",
+				uint64(addr), e.Owner, exclusive.Only()))
+		}
+	}
+}
+
+// CheckAll runs CheckLine over every line the system has touched; tests
+// call it after a workload drains.
+func (s *System) CheckAll() {
+	seen := make(map[msg.Addr]bool)
+	for _, hub := range s.Hubs {
+		hub.dir.ForEach(func(a msg.Addr, _ *directory.Entry) {
+			if !seen[a] {
+				seen[a] = true
+				s.CheckLine(a)
+			}
+		})
+	}
+}
+
+// QuiesceCheck verifies that a drained system holds no transient state:
+// no MSHRs, no busy directory entries, no in-flight updates.
+func (s *System) QuiesceCheck() error {
+	for _, hub := range s.Hubs {
+		if n := len(hub.mshrs); n != 0 {
+			return fmt.Errorf("node %d still has %d outstanding transactions", hub.id, n)
+		}
+		var err error
+		hub.dir.ForEach(func(a msg.Addr, e *directory.Entry) {
+			if err != nil {
+				return
+			}
+			if e.State.Busy() {
+				err = fmt.Errorf("node %d directory entry %#x stuck in %s", hub.id, uint64(a), e.State)
+			}
+			if e.UpdatesInFlight != 0 {
+				err = fmt.Errorf("node %d entry %#x has %d updates in flight", hub.id, uint64(a), e.UpdatesInFlight)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if s.Net.InFlight() != 0 {
+		return fmt.Errorf("%d messages still in flight", s.Net.InFlight())
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"pccsim/internal/mem"
+	"pccsim/internal/msg"
+	"pccsim/internal/network"
+	"pccsim/internal/sim"
+	"pccsim/internal/stats"
+)
+
+// System is one simulated cc-NUMA machine: an event engine, the fat-tree
+// interconnect, distributed memory, and one hub per node.
+type System struct {
+	Cfg  Config
+	Eng  *sim.Engine
+	Net  *network.Network
+	Mem  *mem.Memory
+	Hubs []*Hub
+	// NodeStats holds each node's counters; Aggregate folds them.
+	NodeStats []*stats.Stats
+	// NetStats accumulates interconnect traffic (shared by all sends).
+	NetStats *stats.Stats
+	glob     *global
+}
+
+// NewSystem builds a machine from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Network.Nodes = cfg.Nodes
+	eng := sim.NewEngine()
+	netStats := stats.New()
+	sys := &System{
+		Cfg:       cfg,
+		Eng:       eng,
+		Net:       network.New(eng, cfg.Network, netStats),
+		Mem:       mem.New(mem.FirstTouch, cfg.Nodes, 4096),
+		NetStats:  netStats,
+		glob:      newGlobal(cfg.CheckInvariants),
+		NodeStats: make([]*stats.Stats, cfg.Nodes),
+	}
+	sys.Hubs = make([]*Hub, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		sys.NodeStats[i] = stats.New()
+		sys.Hubs[i] = newHub(sys, msg.NodeID(i), sys.NodeStats[i])
+	}
+	return sys, nil
+}
+
+// MustNewSystem is NewSystem for callers with static configurations.
+func MustNewSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Access issues one memory operation on node n's hub.
+func (s *System) Access(n msg.NodeID, addr msg.Addr, write bool, done func()) {
+	s.Hubs[n].Access(addr, write, done)
+}
+
+// Run drains the event queue and returns the finishing time.
+func (s *System) Run() sim.Time { return s.Eng.Run() }
+
+// LatestVersion exposes the data-version oracle (tests and the workload
+// validators use it to confirm consumers saw produced values).
+func (s *System) LatestVersion(addr msg.Addr) uint64 {
+	return s.glob.latestVersion(s.Hubs[0].line(addr))
+}
+
+// Aggregate folds per-node and interconnect statistics into one report.
+// ExecCycles is set to the engine's current time.
+func (s *System) Aggregate() *stats.Stats {
+	agg := stats.New()
+	for _, st := range s.NodeStats {
+		agg.Add(st)
+	}
+	agg.Add(s.NetStats)
+	agg.ExecCycles = uint64(s.Eng.Now())
+	return agg
+}

@@ -1,0 +1,235 @@
+// Package directory implements the home-node directory state of a cc-NUMA
+// hub: the per-line directory entries of a distributed write-invalidate
+// protocol (with the paper's extra DELE state and ownerID field), and the
+// directory cache whose entries are extended with the producer-consumer
+// sharing detector. Only lines with entries resident in the directory
+// cache have their access histories tracked (§2.2); the detector bits are
+// discarded on eviction.
+package directory
+
+import (
+	"fmt"
+
+	"pccsim/internal/msg"
+	"pccsim/internal/predictor"
+)
+
+// State is the global coherence state of a line at its home node.
+type State uint8
+
+const (
+	// Unowned: memory has the only copy.
+	Unowned State = iota
+	// Shared: one or more nodes hold read-only copies; memory is clean.
+	Shared
+	// Excl: exactly one node owns the line; memory may be stale.
+	Excl
+	// BusyShared: a 3-hop read is in flight (intervention outstanding).
+	BusyShared
+	// BusyExcl: a 3-hop ownership transfer is in flight.
+	BusyExcl
+	// Dele: directory management is delegated to the producer (§2.3.1);
+	// Owner records the delegated home node.
+	Dele
+)
+
+var stateNames = [...]string{
+	Unowned:    "UNOWNED",
+	Shared:     "SHARED",
+	Excl:       "EXCL",
+	BusyShared: "BUSY_S",
+	BusyExcl:   "BUSY_X",
+	Dele:       "DELE",
+}
+
+func (s State) String() string { return stateNames[s] }
+
+// Busy reports whether the state is one of the transient busy states.
+func (s State) Busy() bool { return s == BusyShared || s == BusyExcl }
+
+// Entry is the directory record for one line.
+type Entry struct {
+	State   State
+	Sharers msg.Vector // read-only copy holders (Shared) or last consumer set
+	Owner   msg.NodeID // exclusive owner (Excl/Busy) or delegated home (Dele)
+	// OwnerID is the paper's §2.4.2 extension: when a producer-consumer
+	// line goes SHARED->EXCL the old sharing vector is preserved in
+	// Sharers and the new owner recorded here, so updates can target the
+	// most recent consumer set.
+	OwnerID msg.NodeID
+	// Pending is the requester being served while the entry is busy.
+	Pending msg.NodeID
+	// PendingExcl records whether the busy transaction grants exclusivity.
+	PendingExcl bool
+	// PendingTxn is the pending requester's transaction number, echoed
+	// in the reply if the home completes the request itself after a
+	// writeback race.
+	PendingTxn uint64
+	// OwnerTxn is the current ownership epoch: the Txn of the request
+	// that granted Owner its exclusive copy. Interventions carry it so
+	// owners can recognize stale ones (see msg.Message.GrantTxn).
+	OwnerTxn uint64
+	// MemVersion is the abstract version of the line held in home memory
+	// (runtime invariant checking).
+	MemVersion uint64
+	// PC marks the line as detected producer-consumer. It survives
+	// directory-cache eviction (in hardware it would be rediscovered;
+	// keeping it models the "stable pattern" the paper requires).
+	PC bool
+
+	// Speculative-update machinery (§2.4). While the producer holds the
+	// line EXCL, Sharers preserves the old sharing vector and UpdateSet
+	// snapshots it as the push target set. UpdatePending is set between
+	// the write and the delayed intervention; WriteSeq cancels stale
+	// intervention timers; UpdatesInFlight counts unacknowledged pushes
+	// — further writes to the line are deferred until it drains, which
+	// keeps updates ordered behind invalidations.
+	UpdateSet       msg.Vector
+	UpdatePending   bool
+	WriteSeq        uint64
+	UpdatesInFlight int
+
+	// Adaptive-delay extension (§5 / §3.3.2): DelayHint is the line's
+	// learned intervention delay (0 = use the configured default) and
+	// DowngradeAt records when the last delayed intervention fired, so
+	// a too-early downgrade (producer rewrites immediately) can be
+	// recognized and the hint grown.
+	DelayHint   uint64
+	DowngradeAt uint64
+}
+
+func (e *Entry) String() string {
+	return fmt.Sprintf("%s sharers=%v owner=%d pending=%d pc=%v",
+		e.State, e.Sharers.Nodes(), e.Owner, e.Pending, e.PC)
+}
+
+// Directory is the full per-home-node directory. Entries are materialized
+// on first use (hardware keeps them in memory next to the data).
+type Directory struct {
+	entries map[msg.Addr]*Entry
+}
+
+// New returns an empty directory.
+func New() *Directory {
+	return &Directory{entries: make(map[msg.Addr]*Entry)}
+}
+
+// Entry returns the directory entry for the line, creating an Unowned one
+// on first reference.
+func (d *Directory) Entry(addr msg.Addr) *Entry {
+	e := d.entries[addr]
+	if e == nil {
+		e = &Entry{State: Unowned, Owner: msg.None, OwnerID: msg.None, Pending: msg.None}
+		d.entries[addr] = e
+	}
+	return e
+}
+
+// Peek returns the entry if it exists, without creating one.
+func (d *Directory) Peek(addr msg.Addr) *Entry { return d.entries[addr] }
+
+// Len returns the number of materialized entries.
+func (d *Directory) Len() int { return len(d.entries) }
+
+// ForEach visits every materialized entry.
+func (d *Directory) ForEach(fn func(msg.Addr, *Entry)) {
+	for a, e := range d.entries {
+		fn(a, e)
+	}
+}
+
+// DirCache is the directory cache: a set-associative cache of recently
+// referenced directory entries whose (and only whose) access histories are
+// tracked by the producer-consumer detector. Evicting an entry discards the
+// detector bits, exactly as §2.2 prescribes ("these extra 8 bits ... are
+// not saved if the directory entry is flushed from the directory cache").
+type DirCache struct {
+	numSets  int
+	ways     int
+	tags     []msg.Addr
+	valid    []bool
+	lastUse  []uint64
+	dets     []predictor.Detector
+	useClock uint64
+	Evicts   uint64 // capacity evictions (stats)
+}
+
+// NewDirCache creates a directory cache with the given total entry count
+// and associativity; entries must be a power-of-two multiple of ways.
+func NewDirCache(entries, ways int) *DirCache {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("directory: bad dircache geometry")
+	}
+	numSets := entries / ways
+	if numSets&(numSets-1) != 0 {
+		panic("directory: dircache set count must be a power of two")
+	}
+	return &DirCache{
+		numSets: numSets,
+		ways:    ways,
+		tags:    make([]msg.Addr, entries),
+		valid:   make([]bool, entries),
+		lastUse: make([]uint64, entries),
+		dets:    make([]predictor.Detector, entries),
+	}
+}
+
+// SetPairMode switches every detector to the two-writer extension (§5).
+func (c *DirCache) SetPairMode(on bool) {
+	for i := range c.dets {
+		c.dets[i].SetPairMode(on)
+	}
+}
+
+// Entries returns the total capacity in entries.
+func (c *DirCache) Entries() int { return c.numSets * c.ways }
+
+func (c *DirCache) setBase(addr msg.Addr) int {
+	// Directory entries are per 128-byte line; hash on the line number.
+	idx := int((uint64(addr) >> 7) & uint64(c.numSets-1))
+	return idx * c.ways
+}
+
+// Detector returns the sharing detector for addr, allocating a
+// directory-cache entry (and possibly evicting another, losing its
+// history) if addr is not resident.
+func (c *DirCache) Detector(addr msg.Addr) *predictor.Detector {
+	base := c.setBase(addr)
+	slot := -1
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == addr {
+			c.useClock++
+			c.lastUse[i] = c.useClock
+			return &c.dets[i]
+		}
+		if slot < 0 && !c.valid[i] {
+			slot = i
+		}
+	}
+	if slot < 0 {
+		slot = base
+		for i := base + 1; i < base+c.ways; i++ {
+			if c.lastUse[i] < c.lastUse[slot] {
+				slot = i
+			}
+		}
+		c.Evicts++
+	}
+	c.useClock++
+	c.tags[slot] = addr
+	c.valid[slot] = true
+	c.lastUse[slot] = c.useClock
+	c.dets[slot].Reset()
+	return &c.dets[slot]
+}
+
+// Resident reports whether addr currently has a directory-cache entry.
+func (c *DirCache) Resident(addr msg.Addr) bool {
+	base := c.setBase(addr)
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == addr {
+			return true
+		}
+	}
+	return false
+}

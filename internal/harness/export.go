@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Exportable experiment results: every experiment's rows can be written as
+// CSV (for plotting the figures) or JSON (for downstream tooling).
+
+// WriteFig7CSV renders Figure 7's rows.
+func WriteFig7CSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "config", "cycles", "speedup",
+		"messages", "msg_ratio", "remote_misses", "miss_ratio",
+		"update_accuracy", "delegations", "undelegations", "nacks"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.App, r.Config,
+			strconv.FormatUint(r.Cycles, 10),
+			f(r.Speedup),
+			strconv.FormatUint(r.Messages, 10),
+			f(r.MsgRatio),
+			strconv.FormatUint(r.RemoteMisses, 10),
+			f(r.MissRatio),
+			f(r.UpdateAcc),
+			strconv.FormatUint(r.Delegs, 10),
+			strconv.FormatUint(r.Undelegs, 10),
+			strconv.FormatUint(r.NackCount, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSweepCSV renders a Figure 11/12 sweep.
+func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"config", "cycles", "messages", "speedup",
+		"msg_ratio", "undelegations", "update_accuracy"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Config,
+			strconv.FormatUint(r.Cycles, 10),
+			strconv.FormatUint(r.Messages, 10),
+			f(r.Speedup), f(r.MsgRatio),
+			strconv.FormatUint(r.Undelegs, 10),
+			f(r.UpdAcc),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig9CSV renders the intervention-delay sweep.
+func WriteFig9CSV(w io.Writer, rows []Fig9Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "delay", "cycles", "normalized"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.App, r.Delay,
+			strconv.FormatUint(r.Cycles, 10), f(r.Normalized)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig10CSV renders the hop-latency sweep.
+func WriteFig10CSV(w io.Writer, rows []Fig10Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"hop_ns", "base_cycles", "mech_cycles", "speedup"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{strconv.Itoa(r.HopNsec),
+			strconv.FormatUint(r.BaseCycles, 10),
+			strconv.FormatUint(r.MechCycles, 10), f(r.Speedup)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Report bundles every experiment for one JSON document.
+type Report struct {
+	Options    Options               `json:"options"`
+	Fig7       []Row                 `json:"fig7,omitempty"`
+	Fig8       []Fig8Row             `json:"fig8,omitempty"`
+	Fig9       []Fig9Row             `json:"fig9,omitempty"`
+	Fig10      []Fig10Row            `json:"fig10,omitempty"`
+	Fig11      []SweepRow            `json:"fig11,omitempty"`
+	Fig12      []SweepRow            `json:"fig12,omitempty"`
+	Table3     map[string][5]float64 `json:"table3,omitempty"`
+	Ablation   []AblationRow         `json:"ablation,omitempty"`
+	Extensions []ExtRow              `json:"extensions,omitempty"`
+}
+
+// RunAll executes every experiment and bundles the results.
+func RunAll(opts Options) *Report {
+	return &Report{
+		Options:    opts,
+		Fig7:       Fig7(opts),
+		Fig8:       Fig8(opts),
+		Fig9:       Fig9(opts),
+		Fig10:      Fig10(opts),
+		Fig11:      Fig11(opts),
+		Fig12:      Fig12(opts),
+		Table3:     Table3(opts),
+		Ablation:   Ablation(opts),
+		Extensions: Extensions(opts),
+	}
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteFig7CSV(t *testing.T) {
+	rows := []Row{
+		{App: "em3d", Config: "Base", Cycles: 100, Speedup: 1, Messages: 50,
+			MsgRatio: 1, RemoteMisses: 10, MissRatio: 1},
+		{App: "em3d", Config: "mech", Cycles: 80, Speedup: 1.25, Messages: 40,
+			MsgRatio: 0.8, RemoteMisses: 4, MissRatio: 0.4, UpdateAcc: 0.9},
+	}
+	var buf bytes.Buffer
+	if err := WriteFig7CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 { // header + 2 rows
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][0] != "app" || recs[2][3] != "1.2500" {
+		t.Fatalf("unexpected CSV contents: %v", recs)
+	}
+}
+
+func TestWriteSweepAndFigCSVs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, []SweepRow{{Config: "32", Cycles: 10, Speedup: 1.1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFig9CSV(&buf, []Fig9Row{{App: "mg", Delay: "50", Cycles: 5, Normalized: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFig10CSV(&buf, []Fig10Row{{HopNsec: 50, BaseCycles: 10, MechCycles: 8, Speedup: 1.25}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"config,cycles", "app,delay", "hop_ns"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing header %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	// A tiny full run: every experiment executes and the JSON parses.
+	opts := Options{Nodes: 8, Scale: 1, Iters: 2}
+	rep := RunAll(opts)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Fig7) != len(rep.Fig7) || len(back.Table3) != 7 {
+		t.Fatalf("round trip lost data: fig7 %d->%d table3 %d",
+			len(rep.Fig7), len(back.Fig7), len(back.Table3))
+	}
+	if back.Options.Nodes != 8 {
+		t.Fatal("options lost")
+	}
+}

@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"pccsim/internal/core"
+	"pccsim/internal/workload"
+)
+
+// AccuracyBound is the paper's §5 analytical model: "as network latency
+// grows, the achievable speedup is limited to 1/(1-accuracy)". With update
+// accuracy a, at most a fraction a of remote read misses can be removed,
+// so in the latency-dominated limit speedup cannot exceed 1/(1-a).
+func AccuracyBound(accuracy float64) float64 {
+	if accuracy >= 1 {
+		return math.Inf(1)
+	}
+	if accuracy < 0 {
+		accuracy = 0
+	}
+	return 1 / (1 - accuracy)
+}
+
+// ExtRow is one row of the §5-extensions ablation.
+type ExtRow struct {
+	App string
+	// Speedups vs the same baseline.
+	Fixed    float64 // paper configuration: fixed 50-cycle delay
+	Adaptive float64 // adaptive per-line delay
+	Pair     float64 // two-writer detector (fixed delay)
+	// Update accuracy under the fixed configuration and its §5 bound.
+	Accuracy float64
+	Bound    float64
+}
+
+// Extensions runs the §5 future-work ablations on every workload: the
+// adaptive intervention delay and the two-writer detector, against the
+// paper's fixed small configuration.
+func Extensions(opts Options) []ExtRow {
+	var rows []ExtRow
+	for _, wl := range workload.All() {
+		base := core.DefaultConfig()
+		base.Nodes = opts.Nodes
+		bst := MustRun(base, wl, opts.params())
+
+		fixed := base.WithMechanisms(32*1024, 32, true)
+		fst := MustRun(fixed, wl, opts.params())
+
+		adaptive := fixed
+		adaptive.AdaptiveDelay = true
+		ast := MustRun(adaptive, wl, opts.params())
+
+		pair := fixed
+		pair.DetectorWriters = 2
+		pst := MustRun(pair, wl, opts.params())
+
+		bound := AccuracyBound(fst.UpdateAccuracy())
+		if math.IsInf(bound, 1) {
+			bound = 999 // JSON-safe sentinel for "unbounded"
+		}
+		rows = append(rows, ExtRow{
+			App:      wl.Name,
+			Fixed:    ratio(bst.ExecCycles, fst.ExecCycles),
+			Adaptive: ratio(bst.ExecCycles, ast.ExecCycles),
+			Pair:     ratio(bst.ExecCycles, pst.ExecCycles),
+			Accuracy: fst.UpdateAccuracy(),
+			Bound:    bound,
+		})
+	}
+	return rows
+}
+
+// RelatedRow compares the paper's mechanisms with the related-work
+// baseline it cites: dynamic self-invalidation (Lebeck & Wood; Lai &
+// Falsafi), which converts 3-hop reads into 2-hop home hits, where the
+// paper's updates convert them into local hits.
+type RelatedRow struct {
+	App string
+	// Speedups vs the same baseline.
+	SelfInval float64
+	DelegOnly float64
+	DelegUpd  float64
+	// Remote 3-hop miss counts (the metric self-invalidation moves).
+	Base3Hop uint64
+	DSI3Hop  uint64
+	// Local-hit counts (the metric only updates move).
+	DSILocal uint64
+	UpdLocal uint64
+}
+
+// RelatedWork runs the four-way comparison per workload.
+func RelatedWork(opts Options) []RelatedRow {
+	var rows []RelatedRow
+	for _, wl := range workload.All() {
+		base := core.DefaultConfig()
+		base.Nodes = opts.Nodes
+		bst := MustRun(base, wl, opts.params())
+
+		dsiCfg := base
+		dsiCfg.SelfInvalidate = true
+		dst := MustRun(dsiCfg, wl, opts.params())
+
+		dl := base.WithMechanisms(32*1024, 32, false)
+		dlst := MustRun(dl, wl, opts.params())
+
+		du := base.WithMechanisms(32*1024, 32, true)
+		dust := MustRun(du, wl, opts.params())
+
+		rows = append(rows, RelatedRow{
+			App:       wl.Name,
+			SelfInval: ratio(bst.ExecCycles, dst.ExecCycles),
+			DelegOnly: ratio(bst.ExecCycles, dlst.ExecCycles),
+			DelegUpd:  ratio(bst.ExecCycles, dust.ExecCycles),
+			Base3Hop:  bst.Remote3HopMisses(),
+			DSI3Hop:   dst.Remote3HopMisses(),
+			DSILocal:  dst.RACMisses(),
+			UpdLocal:  dust.RACMisses(),
+		})
+	}
+	return rows
+}
+
+// PrintRelated renders the related-work comparison.
+func PrintRelated(w io.Writer, rows []RelatedRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Application\tSelf-inval\tDeleg-only\tDeleg+updates\t3-hop base->DSI\tlocal hits DSI/upd")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%d -> %d\t%d / %d\n",
+			r.App, r.SelfInval, r.DelegOnly, r.DelegUpd,
+			r.Base3Hop, r.DSI3Hop, r.DSILocal, r.UpdLocal)
+	}
+	tw.Flush()
+}
+
+// PrintExtensions renders the §5 ablation.
+func PrintExtensions(w io.Writer, rows []ExtRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Application\tFixed 50cy\tAdaptive delay\t2-writer detector\tUpd accuracy\t1/(1-acc) bound")
+	for _, r := range rows {
+		bound := fmt.Sprintf("%.2f", r.Bound)
+		if r.Bound >= 999 {
+			bound = "inf"
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.2f\t%s\n",
+			r.App, r.Fixed, r.Adaptive, r.Pair, r.Accuracy, bound)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,272 @@
+package mcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one invariant failure with its counterexample trace.
+type Violation struct {
+	Invariant string
+	State     *State
+	Trace     []string // rule labels from the initial state
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("mcheck: %s violated in state %s (trace: %s)",
+		v.Invariant, v.State, strings.Join(v.Trace, " ; "))
+}
+
+// Progress, when non-nil, receives periodic exploration progress
+// (states expanded, frontier size, visited size).
+var Progress func(states, frontier, visited int)
+
+// Result summarizes an exhaustive reachability analysis.
+type Result struct {
+	States      int
+	Transitions int
+	Violations  []*Violation
+	Deadlocks   []*Violation
+	// MaxQueue is the deepest channel occupancy observed.
+	MaxQueue int
+	// Delegated counts reachable states with the line delegated — a
+	// sanity signal that the exploration actually exercised the
+	// extension (bounds that are too tight never reach DELE).
+	Delegated int
+}
+
+// Ok reports whether the analysis found no violations and no deadlocks.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 && len(r.Deadlocks) == 0 }
+
+func (r *Result) String() string {
+	return fmt.Sprintf("states=%d transitions=%d violations=%d deadlocks=%d",
+		r.States, r.Transitions, len(r.Violations), len(r.Deadlocks))
+}
+
+// Explore runs a breadth-first exhaustive reachability analysis from the
+// initial state, checking every invariant in every reachable state.
+// maxStates bounds the search as a safety net (0 = unbounded); exceeding
+// it panics, since a truncated verification proves nothing. To keep the
+// search memory-lean no traces are stored; a violation's counterexample
+// path can be reconstructed with TraceTo.
+func Explore(cfg Config, maxStates int) *Result {
+	res := &Result{}
+	init := NewState(cfg)
+	visited := map[string]struct{}{init.Key(): {}}
+	queue := []*State{init}
+
+	for len(queue) > 0 {
+		st := queue[0]
+		queue[0] = nil
+		queue = queue[1:]
+		res.States++
+		if Progress != nil && res.States%1_000_000 == 0 {
+			Progress(res.States, len(queue), len(visited))
+		}
+		if maxStates > 0 && res.States > maxStates {
+			panic(fmt.Sprintf("mcheck: state bound %d exceeded (%s)", maxStates, res))
+		}
+
+		if inv := CheckInvariants(cfg, st); inv != "" {
+			res.Violations = append(res.Violations, &Violation{inv, st, nil})
+			if len(res.Violations) >= 8 {
+				return res
+			}
+			continue
+		}
+		for _, q := range st.Ch {
+			if len(q) > res.MaxQueue {
+				res.MaxQueue = len(q)
+			}
+		}
+		if st.H.Dir == DD {
+			res.Delegated++
+		}
+
+		succs := Successors(cfg, st)
+		res.Transitions += len(succs)
+		if len(succs) == 0 {
+			if !quiescent(st) {
+				res.Deadlocks = append(res.Deadlocks, &Violation{"deadlock-freedom", st, nil})
+			}
+			continue
+		}
+		for _, sc := range succs {
+			k := sc.State.Key()
+			if _, ok := visited[k]; ok {
+				continue
+			}
+			visited[k] = struct{}{}
+			queue = append(queue, sc.State)
+		}
+	}
+	return res
+}
+
+// TraceTo reconstructs a rule path from the initial state to target (by
+// key), for counterexample reporting. It re-runs the BFS with parent
+// tracking, so use it only after Explore found a violation.
+func TraceTo(cfg Config, target *State) []string {
+	type link struct {
+		parent string
+		rule   string
+	}
+	goal := target.Key()
+	init := NewState(cfg)
+	if init.Key() == goal {
+		return nil
+	}
+	parents := map[string]link{init.Key(): {}}
+	queue := []*State{init}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		for _, sc := range Successors(cfg, st) {
+			k := sc.State.Key()
+			if _, ok := parents[k]; ok {
+				continue
+			}
+			parents[k] = link{st.Key(), sc.Rule}
+			if k == goal {
+				var path []string
+				for k != init.Key() {
+					l := parents[k]
+					path = append([]string{l.rule}, path...)
+					k = l.parent
+				}
+				return path
+			}
+			queue = append(queue, sc.State)
+		}
+	}
+	return nil
+}
+
+// quiescent reports whether a terminal state is a legitimate fixpoint: no
+// in-flight messages, no outstanding requests, no pending pushes.
+func quiescent(s *State) bool {
+	for _, q := range s.Ch {
+		if len(q) != 0 {
+			return false
+		}
+	}
+	for i := range s.N {
+		n := &s.N[i]
+		if n.Mshr != MNone || n.PInFlt != 0 {
+			return false
+		}
+	}
+	return s.H.Dir != DBS && s.H.Dir != DBX
+}
+
+// CheckInvariants evaluates the paper's invariants on one state, returning
+// the name of the first violated invariant or "".
+func CheckInvariants(cfg Config, s *State) string {
+	// Invariant 1 — "single writer exists" (the Murphi DASH invariant):
+	// at most one node holds the line exclusively, and no other node
+	// holds any readable copy while one does.
+	owner := -1
+	for i := range s.N {
+		if s.N[i].Cache == CE {
+			if owner >= 0 {
+				return "single-writer (two exclusive holders)"
+			}
+			owner = i
+		}
+	}
+	if owner >= 0 {
+		for i := range s.N {
+			if i == owner {
+				continue
+			}
+			if s.N[i].Cache != CI {
+				return "single-writer (copy beside the owner)"
+			}
+			if s.N[i].RACOk {
+				return "single-writer (RAC copy beside the owner)"
+			}
+		}
+	}
+
+	// Invariant 2 — data-value coherence: every readable copy holds the
+	// latest written version. (Write-invalidate with acks collected
+	// before commit makes this exact, not just eventual; see the
+	// argument in DESIGN.md §4.)
+	for i := range s.N {
+		n := &s.N[i]
+		if n.Cache != CI && n.Val != s.Latest {
+			return fmt.Sprintf("data-value (node %d caches v%d, latest v%d)", i, n.Val, s.Latest)
+		}
+		if n.RACOk && n.RACVal != s.Latest {
+			// The producer's pinned surrogate-memory copy is stale by
+			// design while the line is exclusive at the producer: the
+			// cache copy shadows it for every read, and the delayed
+			// intervention refreshes it before the downgrade exposes
+			// it. Any other stale RAC copy is a real violation.
+			if !(n.HasProd && n.PDir == DE) {
+				return fmt.Sprintf("data-value (node %d RAC has v%d, latest v%d)", i, n.RACVal, s.Latest)
+			}
+		}
+	}
+
+	// Invariant 3 — "consistency within the directory": a home entry in
+	// UNOWNED/SHARED must not coexist with an exclusive holder, and in
+	// those states memory must hold the latest data.
+	h := &s.H
+	if (h.Dir == DU || h.Dir == DS) && owner >= 0 {
+		return fmt.Sprintf("directory (home %s with exclusive holder %d)", h.Dir, owner)
+	}
+	if (h.Dir == DU || h.Dir == DS) && h.MemVal != s.Latest {
+		return fmt.Sprintf("directory (home %s memory v%d, latest v%d)", h.Dir, h.MemVal, s.Latest)
+	}
+	// An exclusive holder must be the directory's (or the delegated
+	// entry's) registered owner.
+	if owner >= 0 {
+		legit := false
+		if h.Dir == DE && int(h.Owner) == owner {
+			legit = true
+		}
+		if h.Dir == DBS || h.Dir == DBX { // transfer in progress away from owner
+			legit = true
+		}
+		if h.Dir == DD {
+			p := &s.N[h.Owner]
+			if int(h.Owner) == owner {
+				legit = true
+			} else if p.HasProd && p.PDir == DE {
+				legit = false // delegated entry says producer owns it, someone else is E
+			}
+		}
+		if h.Dir == DD && int(h.Owner) == owner {
+			legit = true
+		}
+		if !legit && h.Dir != DD {
+			return fmt.Sprintf("directory (node %d exclusive, home %s owner %d)", owner, h.Dir, h.Owner)
+		}
+	}
+
+	// Invariant 4 — delegation consistency: while the home is in DELE,
+	// nothing else claims the producer role, and vice versa at most one
+	// producer-table entry exists for the line.
+	producers := 0
+	for i := range s.N {
+		if s.N[i].HasProd {
+			producers++
+			if h.Dir != DD {
+				// Legal transient: the UNDELE is in flight. Then the
+				// home must still be DELE... it is not, so the entry
+				// must be freshly installed while DELEGATE was in
+				// flight — but installs only happen on delivery,
+				// after the home entered DELE. Violation.
+				return fmt.Sprintf("delegation (node %d has entry, home %s)", i, h.Dir)
+			}
+			if int(h.Owner) != i {
+				return fmt.Sprintf("delegation (entry at %d, home delegated to %d)", i, h.Owner)
+			}
+		}
+	}
+	if producers > 1 {
+		return "delegation (two producer entries)"
+	}
+	return ""
+}

@@ -1,0 +1,123 @@
+package mcheck
+
+import "fmt"
+
+// LitmusResult reports one litmus exploration.
+type LitmusResult struct {
+	Name     string
+	States   int
+	Outcomes int // distinct terminal observation vectors
+	Err      error
+}
+
+// Litmus explores every interleaving of the scripted programs in
+// cfg.Scripts and calls check on the observation vector of each terminal
+// state (per node, the versions its reads returned in program order; a
+// script stalled by the issue bound contributes its prefix). The first
+// check failure aborts the run.
+func Litmus(name string, cfg Config, check func(obs [][]int8) error) *LitmusResult {
+	if cfg.Scripts == nil {
+		panic("mcheck: Litmus needs cfg.Scripts")
+	}
+	res := &LitmusResult{Name: name}
+	init := NewState(cfg)
+	visited := map[string]struct{}{init.Key(): {}}
+	queue := []*State{init}
+	outcomes := map[string]bool{}
+
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		res.States++
+
+		if inv := CheckInvariants(cfg, st); inv != "" {
+			res.Err = fmt.Errorf("litmus %s: invariant %s in %s", name, inv, st)
+			return res
+		}
+
+		succs := Successors(cfg, st)
+		if len(succs) == 0 {
+			key := fmt.Sprint(st.Obs)
+			if !outcomes[key] {
+				outcomes[key] = true
+				if err := check(st.Obs); err != nil {
+					res.Err = fmt.Errorf("litmus %s: %w (state %s)", name, err, st)
+					res.Outcomes = len(outcomes)
+					return res
+				}
+			}
+			continue
+		}
+		for _, sc := range succs {
+			k := sc.State.Key()
+			if _, ok := visited[k]; ok {
+				continue
+			}
+			visited[k] = struct{}{}
+			queue = append(queue, sc.State)
+		}
+	}
+	res.Outcomes = len(outcomes)
+	return res
+}
+
+// monotonic asserts a node's successive reads never observe versions going
+// backwards — the per-location ordering guarantee (CoRR) that sequential
+// consistency requires of the coherence protocol.
+func monotonic(obs [][]int8) error {
+	for n, reads := range obs {
+		for i := 1; i < len(reads); i++ {
+			if reads[i] < reads[i-1] {
+				return fmt.Errorf("node %d read v%d after v%d", n, reads[i], reads[i-1])
+			}
+		}
+	}
+	return nil
+}
+
+// StandardLitmusTests returns the suite run by cmd/pccverify: classic
+// per-location ordering shapes, each explored under the full protocol with
+// delegation and updates enabled (and once disabled, as a control).
+func StandardLitmusTests() []func() *LitmusResult {
+	mk := func(name string, deleg bool, scripts [][]LitOp, check func([][]int8) error) func() *LitmusResult {
+		return func() *LitmusResult {
+			cfg := DefaultConfig()
+			cfg.MaxWrites = 3
+			cfg.MaxIssues = 6
+			cfg.Delegation = deleg
+			cfg.Scripts = scripts
+			return Litmus(name, cfg, check)
+		}
+	}
+	r := LitOp{}
+	w := LitOp{Write: true}
+
+	var tests []func() *LitmusResult
+	for _, deleg := range []bool{false, true} {
+		suffix := "/base"
+		if deleg {
+			suffix = "/delegation+updates"
+		}
+		// CoRR: two reads on one node never go backwards while another
+		// node writes twice.
+		tests = append(tests, mk("CoRR"+suffix, deleg, [][]LitOp{
+			{},        // node 0 (home) idle
+			{w, w},    // writer
+			{r, r, r}, // reader: monotonic observations
+		}, monotonic))
+		// CoWR: a node reads its own write at least as new as written.
+		tests = append(tests, mk("CoWR"+suffix, deleg, [][]LitOp{
+			{},
+			{w, r, r},
+			{r, w},
+		}, monotonic))
+		// Producer-consumer rounds: the delegation/update pattern
+		// itself — writer bursts, two consumers poll.
+		tests = append(tests, mk("PC-rounds"+suffix, deleg, [][]LitOp{
+			{r, r}, // home also consumes
+			{w, w, w},
+			{r, r, r},
+		}, monotonic))
+	}
+	return tests
+}

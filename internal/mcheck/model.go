@@ -1,0 +1,428 @@
+// Package mcheck is the reproduction of the paper's §2.5 verification: an
+// explicit-state model checker in the style of Murphi, run over an abstract
+// model of the protocol — the base directory write-invalidate protocol
+// extended with directory delegation and speculative updates. The model is
+// an independent, second encoding of the protocol rules (the simulator in
+// internal/core is the first), so exhaustive reachability over it checks
+// the *design*, and disagreements between the two encodings surface as
+// invariant violations here or runtime-check panics there.
+//
+// The checked properties mirror the paper's: the DASH-style "single writer
+// exists" and "consistency within the directory" invariants, a data-value
+// invariant (every readable copy holds the latest written value — the
+// single-location guarantee sequential consistency needs from coherence),
+// absence of deadlock (no reachable state with outstanding work and no
+// enabled transition), and scripted litmus tests for ordering.
+package mcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CacheState is a node's cached-copy state.
+type CacheState uint8
+
+const (
+	CI CacheState = iota // invalid
+	CS                   // shared
+	CE                   // exclusive (dirty)
+)
+
+var cacheNames = [...]string{"I", "S", "E"}
+
+func (c CacheState) String() string { return cacheNames[c] }
+
+// MshrState is a node's outstanding-request state.
+type MshrState uint8
+
+const (
+	MNone MshrState = iota
+	MWantS
+	MWantX   // GetExcl issued
+	MWantUpg // Upgrade issued
+	MWaitAck // data granted, invalidation acks still arriving
+)
+
+var mshrNames = [...]string{"-", "wS", "wX", "wU", "wA"}
+
+func (m MshrState) String() string { return mshrNames[m] }
+
+// DirState is the home directory state for the line.
+type DirState uint8
+
+const (
+	DU  DirState = iota // unowned
+	DS                  // shared
+	DE                  // exclusive
+	DBS                 // busy-shared (intervention outstanding)
+	DBX                 // busy-exclusive (transfer outstanding)
+	DD                  // delegated
+)
+
+var dirNames = [...]string{"U", "S", "E", "BS", "BX", "D"}
+
+func (d DirState) String() string { return dirNames[d] }
+
+// MsgType enumerates model messages (a compressed version of msg.Type).
+type MsgType uint8
+
+const (
+	MGetS MsgType = iota
+	MGetX
+	MUpg
+	MInval
+	MInvAck
+	MSRep    // shared reply (data)
+	MXRep    // exclusive reply (data + ack count)
+	MUpgAck  // upgrade ack (ack count)
+	MInt     // intervention
+	MSResp   // shared response from owner
+	MSWB     // shared writeback to home
+	MXferReq // ownership transfer request
+	MXResp   // exclusive response from owner
+	MXferAck // ownership transfer done
+	MWB      // writeback
+	MWBAck
+	MNack
+	MNackNH // "not home": drop the hint
+	MDele   // delegate (directory handoff, doubles as exclusive reply)
+	MUndele // undelegate (directory handback)
+	MUndAck
+	MHint // new-home hint
+	MUpd  // speculative update
+	numMsgTypes
+)
+
+var msgNames = [...]string{
+	"GetS", "GetX", "Upg", "Inval", "InvAck", "SRep", "XRep", "UpgAck",
+	"Int", "SResp", "SWB", "XferReq", "XResp", "XferAck", "WB", "WBAck",
+	"Nack", "NackNH", "Dele", "Undele", "UndAck", "Hint", "Upd",
+}
+
+func (t MsgType) String() string { return msgNames[t] }
+
+// Msg is one in-flight message. Val is the abstract data version.
+type Msg struct {
+	Type MsgType
+	Req  int8 // requester the message serves
+	Val  int8
+	Acks int8
+	Shr  uint8 // sharer bitmask (Dele/Undele)
+	Fwd  MsgType
+	// RTxn is the requester's transaction number, echoed by replies,
+	// NACKs and invalidation acks (the simulator's msg.Message.Txn).
+	RTxn int8
+	// GEp is the ownership epoch an intervention or transfer refers to
+	// (the simulator's msg.Message.GrantTxn): the RTxn of the request
+	// that granted the current owner its copy.
+	GEp int8
+}
+
+// Node is one processor/hub in the model.
+type Node struct {
+	Cache CacheState
+	Val   int8
+	Mshr  MshrState
+	Acks  int8 // invalidation acks still owed to this requester
+	// MVal is the data version parked in the MSHR (upgrade stash or an
+	// early reply awaiting acks); MHave marks it valid.
+	MVal  int8
+	MHave bool
+	// Inv marks a read whose reply must be used once and not cached.
+	Inv bool
+	// Hint: the node believes the line is delegated to Prod.
+	Hint     bool
+	HintProd int8
+	// RAC holds an update-landed or surrogate copy (valid when >= 0).
+	RACVal int8
+	RACOk  bool
+
+	// Txn is the current transaction number (bounded by Config.MaxIssues
+	// so the state space stays finite); GEp is the epoch under which an
+	// exclusive copy was granted.
+	Txn    int8
+	Issues int8
+	GEp    int8
+
+	// Delegated directory (valid when HasProd). Mirrors the producer
+	// table entry: delegated state, sharer mask, update bookkeeping.
+	HasProd bool
+	PDir    DirState // DS or DE
+	PShr    uint8
+	PUpdSet uint8
+	PArmed  bool // delayed intervention armed
+	PInFlt  int8 // update pushes not yet delivered
+}
+
+// Home is the home node's directory view of the line.
+type Home struct {
+	Dir     DirState
+	Shr     uint8
+	Owner   int8
+	Pend    int8
+	PendX   bool
+	PendFwd MsgType
+	MemVal  int8
+	// OwnTxn is the current ownership epoch (the grant's RTxn); PendTxn
+	// is the pending requester's transaction while busy.
+	OwnTxn  int8
+	PendTxn int8
+	// Detector state: last writer and the write-repeat counter (the
+	// model uses a threshold of 2 to keep state spaces small).
+	DetW   int8
+	DetRep int8
+	DetRd  bool // a foreign read happened since the last write
+}
+
+// Config parameterizes the model.
+type Config struct {
+	Nodes      int  // processors (the home directory lives beside node 0)
+	MaxWrites  int  // bound on data versions
+	QueueDepth int  // per src->dst channel bound
+	Delegation bool // enable the delegation + update extensions
+	DetThresh  int8 // write-repeat saturation threshold (paper: 3)
+	// MaxIssues bounds each node's total request issues (including
+	// NACK-forced retries), which bounds transaction numbers — the
+	// usual bounded-model-checking compromise for retry protocols.
+	MaxIssues int8
+
+	// Scripts, when non-nil, switches the model to litmus mode: instead
+	// of free processor actions, node i executes Scripts[i] in program
+	// order (reads record the observed version) and spontaneous cache
+	// evictions are disabled. Used by Litmus.
+	Scripts [][]LitOp
+}
+
+// LitOp is one scripted litmus operation.
+type LitOp struct {
+	Write bool
+}
+
+// DefaultConfig is the paper-style small configuration: 3 nodes, bounded
+// writes and retries, delegation and updates on.
+func DefaultConfig() Config {
+	return Config{Nodes: 3, MaxWrites: 2, QueueDepth: 2, Delegation: true,
+		DetThresh: 2, MaxIssues: 3}
+}
+
+// State is one global model state. Channels are per (src,dst) FIFO queues,
+// matching the pairwise-ordered fabric of internal/network (index
+// src*Nodes+dst; the home shares node 0's hub).
+type State struct {
+	N      []Node
+	H      Home
+	Ch     [][]Msg
+	Latest int8 // newest written version (checker bookkeeping)
+	Writes int8
+
+	// Litmus-mode bookkeeping: per-node program counters and the
+	// versions each node's reads observed, in program order.
+	PC  []int8
+	Obs [][]int8
+}
+
+// NewState returns the initial state: line unowned, memory holds version 0.
+func NewState(cfg Config) *State {
+	s := &State{
+		N:  make([]Node, cfg.Nodes),
+		Ch: make([][]Msg, cfg.Nodes*cfg.Nodes),
+		H:  Home{Owner: -1, Pend: -1, DetW: -1},
+	}
+	for i := range s.N {
+		s.N[i].HintProd = -1
+	}
+	if cfg.Scripts != nil {
+		s.PC = make([]int8, cfg.Nodes)
+		s.Obs = make([][]int8, cfg.Nodes)
+	}
+	return s
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	ns := &State{
+		N:      append([]Node(nil), s.N...),
+		H:      s.H,
+		Ch:     make([][]Msg, len(s.Ch)),
+		Latest: s.Latest,
+		Writes: s.Writes,
+	}
+	for i, q := range s.Ch {
+		if len(q) > 0 {
+			ns.Ch[i] = append([]Msg(nil), q...)
+		}
+	}
+	if s.PC != nil {
+		ns.PC = append([]int8(nil), s.PC...)
+		ns.Obs = make([][]int8, len(s.Obs))
+		for i, o := range s.Obs {
+			if len(o) > 0 {
+				ns.Obs[i] = append([]int8(nil), o...)
+			}
+		}
+	}
+	return ns
+}
+
+// Key returns a canonical binary encoding for the visited-set hash.
+func (s *State) Key() string {
+	b := make([]byte, 0, 24*len(s.N)+16+9*8)
+	bl := func(v bool) byte {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	for i := range s.N {
+		n := &s.N[i]
+		b = append(b,
+			byte(n.Cache), byte(n.Val), byte(n.Mshr), byte(n.Acks), byte(n.MVal),
+			bl(n.MHave)|bl(n.Inv)<<1|bl(n.Hint)<<2|bl(n.RACOk)<<3|bl(n.HasProd)<<4|bl(n.PArmed)<<5,
+			byte(n.HintProd), byte(n.RACVal), byte(n.Txn), byte(n.Issues), byte(n.GEp),
+			byte(n.PDir), n.PShr, n.PUpdSet, byte(n.PInFlt))
+	}
+	h := &s.H
+	b = append(b, byte(h.Dir), h.Shr, byte(h.Owner), byte(h.Pend),
+		bl(h.PendX)|bl(h.DetRd)<<1, byte(h.PendFwd), byte(h.MemVal),
+		byte(h.OwnTxn), byte(h.PendTxn), byte(h.DetW), byte(h.DetRep))
+	for i, q := range s.Ch {
+		if len(q) == 0 {
+			continue
+		}
+		b = append(b, 0xFE, byte(i))
+		for _, m := range q {
+			b = append(b, byte(m.Type), byte(m.Req), byte(m.Val), byte(m.Acks),
+				m.Shr, byte(m.Fwd), byte(m.RTxn), byte(m.GEp))
+		}
+	}
+	b = append(b, byte(s.Latest), byte(s.Writes))
+	for i := range s.PC {
+		b = append(b, 0xFD, byte(s.PC[i]))
+		for _, o := range s.Obs[i] {
+			b = append(b, byte(o))
+		}
+	}
+	return string(b)
+}
+
+// CanonicalKey is Key modulo the symmetry of the non-home nodes: in the
+// generic (scriptless) model every node behaves identically, so states
+// differing only by a permutation of nodes 1..N-1 are equivalent. The
+// canonical key is the lexicographically smallest Key over pairwise swaps
+// (N is small). Litmus mode has distinguished scripts and must use Key.
+func (s *State) CanonicalKey() string {
+	best := s.Key()
+	n := len(s.N)
+	for a := 1; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			sw := s.swapped(a, b)
+			if k := sw.Key(); k < best {
+				best = k
+			}
+		}
+	}
+	return best
+}
+
+// swapped returns the state with node identities a and b exchanged.
+func (s *State) swapped(a, b int) *State {
+	ns := s.Clone()
+	ns.N[a], ns.N[b] = ns.N[b], ns.N[a]
+	ren := func(id int8) int8 {
+		switch int(id) {
+		case a:
+			return int8(b)
+		case b:
+			return int8(a)
+		}
+		return id
+	}
+	renMask := func(m uint8) uint8 {
+		out := m &^ (bit(int8(a)) | bit(int8(b)))
+		if m&bit(int8(a)) != 0 {
+			out |= bit(int8(b))
+		}
+		if m&bit(int8(b)) != 0 {
+			out |= bit(int8(a))
+		}
+		return out
+	}
+	for i := range ns.N {
+		nd := &ns.N[i]
+		nd.HintProd = ren(nd.HintProd)
+		nd.PShr = renMask(nd.PShr)
+		nd.PUpdSet = renMask(nd.PUpdSet)
+	}
+	h := &ns.H
+	h.Owner = ren(h.Owner)
+	h.Pend = ren(h.Pend)
+	h.DetW = ren(h.DetW)
+	h.Shr = renMask(h.Shr)
+	n := len(ns.N)
+	old := ns.Ch
+	ns.Ch = make([][]Msg, n*n)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			q := old[src*n+dst]
+			if len(q) == 0 {
+				continue
+			}
+			nsrc, ndst := int(ren(int8(src))), int(ren(int8(dst)))
+			nq := append([]Msg(nil), q...)
+			for i := range nq {
+				nq[i].Req = ren(nq[i].Req)
+				nq[i].Shr = renMask(nq[i].Shr)
+				if nq[i].Type == MHint {
+					nq[i].Val = ren(nq[i].Val) // Hint reuses Val as a node id
+				}
+			}
+			ns.Ch[nsrc*n+ndst] = nq
+		}
+	}
+	return ns
+}
+
+// String renders the state for counterexample traces.
+func (s *State) String() string {
+	var b strings.Builder
+	for i := range s.N {
+		n := &s.N[i]
+		fmt.Fprintf(&b, "n%d[%s v%d %s", i, n.Cache, n.Val, n.Mshr)
+		if n.RACOk {
+			fmt.Fprintf(&b, " rac:v%d", n.RACVal)
+		}
+		if n.HasProd {
+			fmt.Fprintf(&b, " prod:%s shr=%b upd=%b inflt=%d", n.PDir, n.PShr, n.PUpdSet, n.PInFlt)
+		}
+		b.WriteString("] ")
+	}
+	fmt.Fprintf(&b, "home[%s shr=%b own=%d mem=v%d] latest=v%d", s.H.Dir, s.H.Shr, s.H.Owner, s.H.MemVal, s.Latest)
+	for i, q := range s.Ch {
+		for _, m := range q {
+			fmt.Fprintf(&b, " {%d->%d %s v%d}", i/len(s.N), i%len(s.N), m.Type, m.Val)
+		}
+	}
+	return b.String()
+}
+
+// send enqueues a message on the src->dst channel; it reports false when
+// the channel bound would be exceeded (the rule is then disabled).
+func (s *State) send(src, dst int, m Msg, depth int) bool {
+	i := src*len(s.N) + dst
+	if len(s.Ch[i]) >= depth {
+		return false
+	}
+	s.Ch[i] = append(s.Ch[i], m)
+	return true
+}
+
+func bit(n int8) uint8 { return 1 << uint8(n) }
+
+func popcount(x uint8) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,859 @@
+package mcheck
+
+import "fmt"
+
+// Succ is one labeled successor state.
+type Succ struct {
+	Rule  string
+	State *State
+}
+
+// home is the node whose hub hosts the directory for the modeled line.
+const home = 0
+
+// Successors enumerates every enabled transition of s: spontaneous
+// processor actions, message deliveries (any channel head), and the
+// nondeterministically timed delayed intervention.
+func Successors(cfg Config, s *State) []Succ {
+	var out []Succ
+	add := func(rule string, ns *State) { out = append(out, Succ{rule, ns}) }
+
+	n := len(s.N)
+	for i := 0; i < n; i++ {
+		node := &s.N[i]
+
+		if cfg.Scripts != nil {
+			scriptStep(cfg, s, i, add)
+			continue
+		}
+
+		// Issue a read miss.
+		if node.Cache == CI && node.Mshr == MNone && !node.RACOk && node.Issues < cfg.MaxIssues {
+			ns := s.Clone()
+			nn := &ns.N[i]
+			nn.Mshr = MWantS
+			nn.Inv = false
+			nn.Issues++
+			nn.Txn = nn.Issues
+			dst := home
+			if nn.Hint {
+				dst = int(nn.HintProd)
+			}
+			if ns.send(i, dst, Msg{Type: MGetS, Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
+				add(fmt.Sprintf("n%d.GetS->%d", i, dst), ns)
+			}
+		}
+
+		// Read a locally available copy (cache or RAC): no transition
+		// needed for cache hits; a RAC hit promotes the copy, which is
+		// a state change worth exploring.
+		if node.Cache == CI && node.Mshr == MNone && node.RACOk {
+			ns := s.Clone()
+			nn := &ns.N[i]
+			nn.Cache = CS
+			nn.Val = nn.RACVal
+			if !nn.HasProd {
+				nn.RACOk = false // victim-cache move; pinned master stays
+			}
+			add(fmt.Sprintf("n%d.RACHit", i), ns)
+		}
+
+		// Issue a write (GetX on invalid, Upgrade on shared), bounded.
+		if s.Writes < int8(cfg.MaxWrites) && node.Mshr == MNone && node.Issues < cfg.MaxIssues {
+			if node.HasProd && node.PDir == DS && node.PInFlt == 0 {
+				// Producer write on a delegated line (Figure 6).
+				ns := s.Clone()
+				nn := &ns.N[i]
+				nn.Issues++
+				nn.Txn = nn.Issues
+				cons := nn.PShr &^ bit(int8(i))
+				nn.PDir = DE
+				nn.PUpdSet = cons
+				nn.PArmed = false
+				nn.Mshr = MWaitAck
+				nn.MHave = true
+				nn.MVal = nn.val(i)
+				nn.Acks = int8(popcount(cons))
+				ok := true
+				for j := 0; j < n; j++ {
+					if cons&bit(int8(j)) != 0 {
+						if !ns.send(i, j, Msg{Type: MInval, Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
+							ok = false
+						}
+					}
+				}
+				if ok {
+					if nn.Acks == 0 {
+						completeWrite(cfg, ns, i)
+					}
+					add(fmt.Sprintf("n%d.DelegatedWrite", i), ns)
+				}
+			} else if !node.HasProd {
+				switch node.Cache {
+				case CI:
+					ns := s.Clone()
+					nn := &ns.N[i]
+					nn.Mshr = MWantX
+					nn.Acks = 0
+					nn.MHave = false
+					nn.Issues++
+					nn.Txn = nn.Issues
+					dst := home
+					if nn.Hint {
+						dst = int(nn.HintProd)
+					}
+					if ns.send(i, dst, Msg{Type: MGetX, Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
+						add(fmt.Sprintf("n%d.GetX->%d", i, dst), ns)
+					}
+				case CS:
+					ns := s.Clone()
+					nn := &ns.N[i]
+					nn.Mshr = MWantUpg
+					nn.Acks = 0
+					nn.MHave = false
+					nn.MVal = nn.Val // MSHR stashes the shared data
+					nn.Issues++
+					nn.Txn = nn.Issues
+					dst := home
+					if nn.Hint {
+						dst = int(nn.HintProd)
+					}
+					if ns.send(i, dst, Msg{Type: MUpg, Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
+						add(fmt.Sprintf("n%d.Upg->%d", i, dst), ns)
+					}
+				}
+			}
+		}
+
+		// Evict an exclusive line (writeback) — not while transacting
+		// and not for delegated lines (those fold into the RAC).
+		if node.Cache == CE && node.Mshr == MNone && !node.HasProd {
+			ns := s.Clone()
+			nn := &ns.N[i]
+			v := nn.Val
+			nn.Cache = CI
+			if ns.send(i, home, Msg{Type: MWB, Req: int8(i), Val: v}, cfg.QueueDepth) {
+				add(fmt.Sprintf("n%d.Evict(WB)", i), ns)
+			}
+		}
+
+		// Silently evict a shared line.
+		if node.Cache == CS && node.Mshr == MNone && !node.HasProd {
+			ns := s.Clone()
+			ns.N[i].Cache = CI
+			add(fmt.Sprintf("n%d.EvictS", i), ns)
+		}
+
+		// Delayed intervention fires (§2.4.1); its timing is fully
+		// nondeterministic in the model.
+		if node.HasProd && node.PArmed && node.Mshr == MNone {
+			if node.PDir == DE {
+				ns := s.Clone()
+				nn := &ns.N[i]
+				nn.PArmed = false
+				v := nn.val(i)
+				if nn.Cache == CE {
+					nn.Cache = CS
+				}
+				nn.RACOk = true
+				nn.RACVal = v
+				targets := nn.PUpdSet &^ bit(int8(i))
+				nn.PDir = DS
+				nn.PShr = targets | bit(int8(i))
+				if pushAll(cfg, ns, i, targets, v) {
+					add(fmt.Sprintf("n%d.Intervention", i), ns)
+				}
+			} else {
+				// Early consumer read already downgraded the line:
+				// push to consumers that have not re-read.
+				ns := s.Clone()
+				nn := &ns.N[i]
+				nn.PArmed = false
+				v := nn.val(i)
+				targets := nn.PUpdSet &^ nn.PShr &^ bit(int8(i))
+				nn.PShr |= targets
+				if pushAll(cfg, ns, i, targets, v) {
+					add(fmt.Sprintf("n%d.LatePush", i), ns)
+				}
+			}
+		}
+	}
+
+	// Message deliveries: the head of any nonempty channel.
+	for ci, q := range s.Ch {
+		if len(q) == 0 {
+			continue
+		}
+		src, dst := ci/n, ci%n
+		ns := s.Clone()
+		m := ns.Ch[ci][0]
+		ns.Ch[ci] = ns.Ch[ci][1:]
+		if len(ns.Ch[ci]) == 0 {
+			ns.Ch[ci] = nil
+		}
+		if deliver(cfg, ns, src, dst, m) {
+			add(fmt.Sprintf("%d->%d.%s", src, dst, m.Type), ns)
+		}
+	}
+	return out
+}
+
+// val returns the node's current data for the line: cache copy first, then
+// the RAC master copy.
+func (nd *Node) val(self int) int8 {
+	if nd.Cache != CI {
+		return nd.Val
+	}
+	if nd.RACOk {
+		return nd.RACVal
+	}
+	return nd.Val
+}
+
+func pushAll(cfg Config, s *State, src int, targets uint8, v int8) bool {
+	nn := &s.N[src]
+	for j := 0; j < len(s.N); j++ {
+		if targets&bit(int8(j)) != 0 {
+			if !s.send(src, j, Msg{Type: MUpd, Req: int8(j), Val: v}, cfg.QueueDepth) {
+				return false
+			}
+			nn.PInFlt++
+		}
+	}
+	return true
+}
+
+// completeWrite commits a write at node i: the version advances and, for
+// delegated lines, the delayed intervention is armed.
+func completeWrite(cfg Config, s *State, i int) {
+	nn := &s.N[i]
+	nn.Cache = CE
+	if nn.RACOk && !nn.HasProd {
+		nn.RACOk = false // cache and unpinned RAC never hold the same line
+	}
+	nn.GEp = nn.Txn // ownership epoch = the granting request's txn
+	s.Latest++
+	s.Writes++
+	nn.Val = s.Latest
+	nn.Mshr = MNone
+	nn.MHave = false
+	nn.Inv = false
+	if nn.HasProd && nn.PUpdSet&^bit(int8(i)) != 0 {
+		nn.PArmed = true
+	}
+}
+
+// completeRead commits a read at node i with version v.
+func completeRead(s *State, i int, v int8) {
+	nn := &s.N[i]
+	if nn.Inv {
+		// Use-once fill: satisfy the load, do not cache.
+		nn.Inv = false
+	} else {
+		nn.Cache = CS
+		nn.Val = v
+		if nn.RACOk && !nn.HasProd {
+			nn.RACOk = false // cache and unpinned RAC never hold the same line
+		}
+	}
+	nn.Mshr = MNone
+	if s.Obs != nil {
+		s.Obs[i] = append(s.Obs[i], v)
+	}
+}
+
+// scriptStep emits the litmus-mode transition for node i: execute the next
+// scripted operation when the node is idle. Local hits complete
+// immediately; misses issue protocol transactions whose completions record
+// the observation.
+func scriptStep(cfg Config, s *State, i int, add func(string, *State)) {
+	node := &s.N[i]
+	script := cfg.Scripts[i]
+	// Delayed interventions fire nondeterministically alongside ops.
+	genericTimerStep(cfg, s, i, add)
+	if int(s.PC[i]) >= len(script) || node.Mshr != MNone || node.Issues >= cfg.MaxIssues {
+		return
+	}
+	op := script[s.PC[i]]
+	if !op.Write {
+		// Read: cache hit, RAC hit, or a GetS transaction.
+		if node.Cache != CI {
+			ns := s.Clone()
+			ns.PC[i]++
+			ns.Obs[i] = append(ns.Obs[i], ns.N[i].Val)
+			add(fmt.Sprintf("n%d.ReadHit", i), ns)
+			return
+		}
+		if node.RACOk {
+			ns := s.Clone()
+			nn := &ns.N[i]
+			nn.Cache = CS
+			nn.Val = nn.RACVal
+			if !nn.HasProd {
+				nn.RACOk = false
+			}
+			ns.PC[i]++
+			ns.Obs[i] = append(ns.Obs[i], nn.Val)
+			add(fmt.Sprintf("n%d.ReadRAC", i), ns)
+			return
+		}
+		ns := s.Clone()
+		nn := &ns.N[i]
+		nn.Mshr = MWantS
+		nn.Inv = false
+		nn.Issues++
+		nn.Txn = nn.Issues
+		ns.PC[i]++ // the observation lands at completion
+		dst := home
+		if nn.Hint {
+			dst = int(nn.HintProd)
+		}
+		if ns.send(i, dst, Msg{Type: MGetS, Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
+			add(fmt.Sprintf("n%d.GetS->%d", i, dst), ns)
+		}
+		return
+	}
+	// Write: silent on an exclusive copy, otherwise a transaction.
+	if node.Cache == CE {
+		ns := s.Clone()
+		nn := &ns.N[i]
+		ns.Latest++
+		ns.Writes++
+		nn.Val = ns.Latest
+		ns.PC[i]++
+		add(fmt.Sprintf("n%d.WriteHit", i), ns)
+		return
+	}
+	if node.HasProd && node.PDir == DS && node.PInFlt == 0 {
+		ns := s.Clone()
+		nn := &ns.N[i]
+		nn.Issues++
+		nn.Txn = nn.Issues
+		cons := nn.PShr &^ bit(int8(i))
+		nn.PDir = DE
+		nn.PUpdSet = cons
+		nn.PArmed = false
+		nn.Mshr = MWaitAck
+		nn.MHave = true
+		nn.MVal = nn.val(i)
+		nn.Acks = int8(popcount(cons))
+		ok := true
+		for j := 0; j < len(s.N); j++ {
+			if cons&bit(int8(j)) != 0 {
+				if !ns.send(i, j, Msg{Type: MInval, Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			ns.PC[i]++
+			if nn.Acks == 0 {
+				completeWrite(cfg, ns, i)
+			}
+			add(fmt.Sprintf("n%d.DelegatedWrite", i), ns)
+		}
+		return
+	}
+	ns := s.Clone()
+	nn := &ns.N[i]
+	nn.Issues++
+	nn.Txn = nn.Issues
+	nn.Acks = 0
+	nn.MHave = false
+	t := MGetX
+	if nn.Cache == CS {
+		t = MUpg
+		nn.Mshr = MWantUpg
+		nn.MVal = nn.Val
+	} else {
+		nn.Mshr = MWantX
+	}
+	ns.PC[i]++
+	dst := home
+	if nn.Hint {
+		dst = int(nn.HintProd)
+	}
+	if ns.send(i, dst, Msg{Type: t, Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
+		add(fmt.Sprintf("n%d.%s->%d", i, t, dst), ns)
+	}
+}
+
+// genericTimerStep emits the delayed-intervention transitions (shared by
+// both modes).
+func genericTimerStep(cfg Config, s *State, i int, add func(string, *State)) {
+	node := &s.N[i]
+	if !(node.HasProd && node.PArmed && node.Mshr == MNone) {
+		return
+	}
+	if node.PDir == DE {
+		ns := s.Clone()
+		nn := &ns.N[i]
+		nn.PArmed = false
+		v := nn.val(i)
+		if nn.Cache == CE {
+			nn.Cache = CS
+		}
+		nn.RACOk = true
+		nn.RACVal = v
+		targets := nn.PUpdSet &^ bit(int8(i))
+		nn.PDir = DS
+		nn.PShr = targets | bit(int8(i))
+		if pushAll(cfg, ns, i, targets, v) {
+			add(fmt.Sprintf("n%d.Intervention", i), ns)
+		}
+	} else {
+		ns := s.Clone()
+		nn := &ns.N[i]
+		nn.PArmed = false
+		v := nn.val(i)
+		targets := nn.PUpdSet &^ nn.PShr &^ bit(int8(i))
+		nn.PShr |= targets
+		if pushAll(cfg, ns, i, targets, v) {
+			add(fmt.Sprintf("n%d.LatePush", i), ns)
+		}
+	}
+}
+
+// deliver applies one message at its destination; it reports false when a
+// required send would exceed the channel bound (the delivery is then
+// disabled rather than half-applied).
+func deliver(cfg Config, s *State, src, dst int, m Msg) bool {
+	nd := &s.N[dst]
+	switch m.Type {
+	case MGetS, MGetX, MUpg:
+		return deliverRequest(cfg, s, src, dst, m)
+
+	case MInval:
+		if nd.Cache == CS {
+			nd.Cache = CI
+		}
+		if nd.RACOk && !nd.HasProd {
+			nd.RACOk = false
+		}
+		if nd.Mshr == MWantS {
+			nd.Inv = true
+		}
+		return s.send(dst, int(m.Req), Msg{Type: MInvAck, RTxn: m.RTxn}, cfg.QueueDepth)
+
+	case MInvAck:
+		if (nd.Mshr == MWantX || nd.Mshr == MWantUpg || nd.Mshr == MWaitAck) && m.RTxn == nd.Txn {
+			nd.Acks--
+			if nd.Acks == 0 && nd.MHave {
+				completeWrite(cfg, s, dst)
+			}
+		}
+		return true
+
+	case MSRep, MSResp:
+		if nd.Mshr == MWantS && m.RTxn == nd.Txn {
+			completeRead(s, dst, m.Val)
+		}
+		return true
+
+	case MXRep:
+		if nd.Mshr == MWantX && m.RTxn == nd.Txn {
+			nd.MHave = true
+			nd.MVal = m.Val
+			nd.Acks += m.Acks
+			if nd.Acks == 0 {
+				completeWrite(cfg, s, dst)
+			}
+		}
+		return true
+
+	case MUpgAck:
+		if nd.Mshr == MWantUpg && m.RTxn == nd.Txn {
+			nd.MHave = true
+			nd.Acks += m.Acks
+			if nd.Acks == 0 {
+				completeWrite(cfg, s, dst)
+			}
+		}
+		return true
+
+	case MXResp:
+		if nd.Mshr == MWantX && m.RTxn == nd.Txn {
+			nd.MHave = true
+			nd.MVal = m.Val
+			if nd.Acks == 0 {
+				completeWrite(cfg, s, dst)
+			}
+		}
+		return true
+
+	case MInt:
+		if (nd.Mshr == MWantX || nd.Mshr == MWantUpg || nd.Mshr == MWaitAck) && m.GEp == nd.Txn {
+			// The intervention refers to the ownership our in-flight
+			// fill establishes: requeue behind it (the implementation
+			// parks it in the MSHR; the model re-delivers later —
+			// same observable behavior).
+			return s.send(src, dst, m, cfg.QueueDepth)
+		}
+		if nd.Cache == CE && nd.GEp == m.GEp {
+			nd.Cache = CS
+			v := nd.Val
+			if !s.send(dst, int(m.Req), Msg{Type: MSResp, Val: v, RTxn: m.RTxn}, cfg.QueueDepth) {
+				return false
+			}
+			return s.send(dst, home, Msg{Type: MSWB, Val: v}, cfg.QueueDepth)
+		}
+		return true // stale epoch: home completes from the crossing WB
+
+	case MXferReq:
+		if (nd.Mshr == MWantX || nd.Mshr == MWantUpg || nd.Mshr == MWaitAck) && m.GEp == nd.Txn {
+			return s.send(src, dst, m, cfg.QueueDepth)
+		}
+		if nd.Cache == CE && nd.GEp == m.GEp {
+			v := nd.Val
+			nd.Cache = CI
+			if !s.send(dst, int(m.Req), Msg{Type: MXResp, Val: v, RTxn: m.RTxn}, cfg.QueueDepth) {
+				return false
+			}
+			return s.send(dst, home, Msg{Type: MXferAck, Req: m.Req, RTxn: m.RTxn}, cfg.QueueDepth)
+		}
+		return true
+
+	case MSWB:
+		h := &s.H
+		h.MemVal = m.Val
+		h.Dir = DS
+		h.Shr = bit(int8(src)) | bit(h.Pend)
+		h.Pend = -1
+		return true
+
+	case MXferAck:
+		h := &s.H
+		if h.Dir != DBX || h.PendTxn != m.RTxn || h.Pend != m.Req {
+			return true // stale: an early writeback resolved the transfer
+		}
+		h.Dir = DE
+		h.Owner = h.Pend
+		h.OwnTxn = h.PendTxn
+		h.Shr = 0
+		h.Pend = -1
+		return true
+
+	case MWB:
+		return deliverWriteback(cfg, s, src, m)
+
+	case MNack:
+		if nd.Mshr != MNone && nd.Mshr != MWaitAck && m.RTxn == nd.Txn {
+			nd.Mshr = MNone
+			nd.MHave = false
+			nd.Acks = 0
+			if s.PC != nil {
+				s.PC[dst]-- // litmus mode: retry the scripted op
+			}
+		}
+		return true
+
+	case MNackNH:
+		nd.Hint = false
+		nd.HintProd = -1
+		if nd.Mshr != MNone && nd.Mshr != MWaitAck && m.RTxn == nd.Txn {
+			nd.Mshr = MNone
+			nd.MHave = false
+			nd.Acks = 0
+			if s.PC != nil {
+				s.PC[dst]--
+			}
+		}
+		return true
+
+	case MHint:
+		nd.Hint = true
+		nd.HintProd = m.Val // reuse Val as the producer id
+		return true
+
+	case MDele:
+		if (nd.Mshr != MWantX && nd.Mshr != MWantUpg) || m.RTxn != nd.Txn {
+			panic("mcheck: unsolicited delegate")
+		}
+		// Directory handoff doubling as the exclusive reply.
+		nd.HasProd = true
+		nd.PDir = DE
+		nd.PShr = m.Shr
+		nd.PUpdSet = m.Shr
+		nd.PInFlt = 0
+		nd.PArmed = false
+		nd.RACOk = true // pinned surrogate-memory entry
+		nd.RACVal = m.Val
+		nd.MHave = true
+		if nd.Mshr == MWantX {
+			nd.MVal = m.Val
+		}
+		nd.Acks += m.Acks
+		if nd.Acks == 0 {
+			completeWrite(cfg, s, dst)
+		} else {
+			nd.Mshr = MWaitAck
+		}
+		return true
+
+	case MUndele:
+		h := &s.H
+		h.Dir = DS
+		if m.Shr == 0 {
+			h.Dir = DU
+		}
+		h.Shr = m.Shr
+		h.Owner = -1
+		h.MemVal = m.Val
+		h.DetW = -1 // detector history lost while delegated
+		h.DetRep = 0
+		h.DetRd = false
+		if m.Fwd != 0 && m.Req >= 0 {
+			return deliverRequest(cfg, s, home, home, Msg{Type: m.Fwd, Req: m.Req, RTxn: m.RTxn})
+		}
+		return true
+
+	case MUpd:
+		// Link-level delivery notification to the producer.
+		if s.N[src].PInFlt > 0 {
+			s.N[src].PInFlt--
+		}
+		if nd.Mshr == MWantS {
+			completeRead(s, dst, m.Val)
+			return true
+		}
+		if nd.Cache == CI && !nd.RACOk {
+			nd.RACOk = true
+			nd.RACVal = m.Val
+		}
+		return true
+	}
+	panic(fmt.Sprintf("mcheck: deliver %s unhandled", m.Type))
+}
+
+// deliverRequest routes a coherence request at its destination node:
+// delegated lines first, the home directory second, NACK otherwise.
+func deliverRequest(cfg Config, s *State, src, dst int, m Msg) bool {
+	nd := &s.N[dst]
+	if nd.HasProd {
+		return delegatedRequest(cfg, s, src, dst, m)
+	}
+	if dst == home {
+		return homeRequest(cfg, s, src, m)
+	}
+	// Stale hint or a request that crossed an undelegation.
+	t := MNack
+	if src == int(m.Req) {
+		t = MNackNH
+	}
+	return s.send(dst, int(m.Req), Msg{Type: t, RTxn: m.RTxn}, cfg.QueueDepth)
+}
+
+func delegatedRequest(cfg Config, s *State, src, dst int, m Msg) bool {
+	nd := &s.N[dst]
+	req := int(m.Req)
+	if req == dst {
+		// The producer's own request looped back (hint to self after
+		// undelegation+redelegation); treat as a home-side NACK.
+		return s.send(dst, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+	}
+	if nd.Mshr != MNone {
+		return s.send(dst, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+	}
+	switch m.Type {
+	case MGetS:
+		switch nd.PDir {
+		case DS:
+			nd.PShr |= bit(int8(req))
+			return s.send(dst, req, Msg{Type: MSResp, Val: nd.val(dst), RTxn: m.RTxn}, cfg.QueueDepth)
+		case DE:
+			// Early read: immediate downgrade; an armed timer will
+			// push to the remaining consumers later.
+			v := nd.val(dst)
+			if nd.Cache == CE {
+				nd.Cache = CS
+			}
+			nd.RACOk = true
+			nd.RACVal = v
+			nd.PDir = DS
+			nd.PShr = bit(int8(dst)) | bit(int8(req))
+			return s.send(dst, req, Msg{Type: MSResp, Val: v, RTxn: m.RTxn}, cfg.QueueDepth)
+		}
+	case MGetX, MUpg:
+		if nd.PInFlt > 0 {
+			return s.send(dst, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+		}
+		// Undelegation reason 3: downgrade our copy, hand the entry
+		// and the pending request back to the home.
+		v := nd.val(dst)
+		if nd.Cache == CE {
+			nd.Cache = CS
+		}
+		holders := uint8(0)
+		if nd.PDir == DS {
+			holders = nd.PShr &^ bit(int8(dst))
+		}
+		if nd.Cache != CI || nd.RACOk {
+			holders |= bit(int8(dst))
+		}
+		nd.HasProd = false
+		nd.PArmed = false
+		// The RAC copy stops being the master; it stays as a clean
+		// shared copy refreshed to the current version.
+		if nd.RACOk {
+			nd.RACVal = v
+		}
+		return s.send(dst, home, Msg{
+			Type: MUndele, Val: v, Shr: holders, Fwd: m.Type, Req: m.Req, RTxn: m.RTxn,
+		}, cfg.QueueDepth)
+	}
+	panic("mcheck: delegatedRequest unhandled")
+}
+
+func homeRequest(cfg Config, s *State, src int, m Msg) bool {
+	h := &s.H
+	req := int(m.Req)
+	if h.Dir == DBS || h.Dir == DBX {
+		return s.send(home, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+	}
+	if h.Dir == DD {
+		if int8(req) == h.Owner {
+			return s.send(home, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+		}
+		if !s.send(home, int(h.Owner), m, cfg.QueueDepth) {
+			return false
+		}
+		if req != home {
+			return s.send(home, req, Msg{Type: MHint, Val: h.Owner}, cfg.QueueDepth)
+		}
+		return true
+	}
+
+	switch m.Type {
+	case MGetS:
+		if req != int(h.DetW) {
+			h.DetRd = true
+		}
+		switch h.Dir {
+		case DU:
+			h.Dir = DS
+			h.Shr = bit(int8(req))
+			return s.send(home, req, Msg{Type: MSRep, Val: h.MemVal, RTxn: m.RTxn}, cfg.QueueDepth)
+		case DS:
+			h.Shr |= bit(int8(req))
+			return s.send(home, req, Msg{Type: MSRep, Val: h.MemVal, RTxn: m.RTxn}, cfg.QueueDepth)
+		case DE:
+			if int(h.Owner) == req {
+				return s.send(home, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+			}
+			h.Dir = DBS
+			h.Pend = int8(req)
+			h.PendX = false
+			h.PendTxn = m.RTxn
+			return s.send(home, int(h.Owner), Msg{Type: MInt, Req: m.Req, RTxn: m.RTxn, GEp: h.OwnTxn}, cfg.QueueDepth)
+		}
+
+	case MGetX, MUpg:
+		switch h.Dir {
+		case DU:
+			if m.Type == MUpg {
+				return s.send(home, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+			}
+			detectorWrite(h, req)
+			h.Dir = DE
+			h.Owner = int8(req)
+			h.Shr = 0
+			h.OwnTxn = m.RTxn
+			return s.send(home, req, Msg{Type: MXRep, Val: h.MemVal, RTxn: m.RTxn}, cfg.QueueDepth)
+		case DS:
+			if m.Type == MUpg && h.Shr&bit(int8(req)) == 0 {
+				return s.send(home, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+			}
+			detectorWrite(h, req)
+			sharers := h.Shr &^ bit(int8(req))
+			acks := int8(popcount(sharers))
+			if cfg.Delegation && h.DetRep >= cfg.DetThresh && req != home {
+				h.Dir = DD
+				h.Owner = int8(req)
+				h.OwnTxn = m.RTxn
+				for j := 0; j < len(s.N); j++ {
+					if sharers&bit(int8(j)) != 0 {
+						if !s.send(home, j, Msg{Type: MInval, Req: m.Req, RTxn: m.RTxn}, cfg.QueueDepth) {
+							return false
+						}
+					}
+				}
+				return s.send(home, req, Msg{
+					Type: MDele, Val: h.MemVal, Acks: acks, Shr: sharers, RTxn: m.RTxn,
+				}, cfg.QueueDepth)
+			}
+			h.Dir = DE
+			h.Owner = int8(req)
+			h.OwnTxn = m.RTxn
+			h.Shr = sharers // §2.4.2: old sharing vector preserved
+			for j := 0; j < len(s.N); j++ {
+				if sharers&bit(int8(j)) != 0 {
+					if !s.send(home, j, Msg{Type: MInval, Req: m.Req, RTxn: m.RTxn}, cfg.QueueDepth) {
+						return false
+					}
+				}
+			}
+			t := MXRep
+			if m.Type == MUpg {
+				t = MUpgAck
+			}
+			return s.send(home, req, Msg{Type: t, Val: h.MemVal, Acks: acks, RTxn: m.RTxn}, cfg.QueueDepth)
+		case DE:
+			if m.Type == MUpg || int(h.Owner) == req {
+				return s.send(home, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+			}
+			detectorWrite(h, req)
+			h.Dir = DBX
+			h.Pend = int8(req)
+			h.PendX = true
+			h.PendTxn = m.RTxn
+			return s.send(home, int(h.Owner), Msg{Type: MXferReq, Req: m.Req, RTxn: m.RTxn, GEp: h.OwnTxn}, cfg.QueueDepth)
+		}
+	}
+	panic("mcheck: homeRequest unhandled")
+}
+
+func detectorWrite(h *Home, req int) {
+	if int(h.DetW) == req && h.DetRd {
+		h.DetRep++
+	} else if int(h.DetW) != req {
+		h.DetRep = 0
+	}
+	h.DetW = int8(req)
+	h.DetRd = false
+}
+
+func deliverWriteback(cfg Config, s *State, src int, m Msg) bool {
+	h := &s.H
+	switch {
+	case h.Dir == DE && int(h.Owner) == src:
+		h.MemVal = m.Val
+		h.Dir = DU
+		h.Owner = -1
+		return true
+	case h.Dir == DBS && int(h.Owner) == src:
+		h.MemVal = m.Val
+		h.Dir = DS
+		pend := h.Pend
+		h.Shr = bit(pend)
+		h.Pend = -1
+		return s.send(home, int(pend), Msg{Type: MSRep, Val: h.MemVal, RTxn: h.PendTxn}, cfg.QueueDepth)
+	case h.Dir == DBX && int(h.Owner) == src:
+		h.MemVal = m.Val
+		h.Dir = DE
+		pend := h.Pend
+		h.Owner = pend
+		h.OwnTxn = h.PendTxn
+		h.Shr = 0
+		h.Pend = -1
+		return s.send(home, int(pend), Msg{Type: MXRep, Val: h.MemVal, RTxn: h.PendTxn}, cfg.QueueDepth)
+	case h.Dir == DBX && int(h.Pend) == src:
+		// The new owner's writeback beat the old owner's TransferAck:
+		// ownership came and went; the stale ack is dropped by txn.
+		h.MemVal = m.Val
+		h.Dir = DU
+		h.Owner = -1
+		h.Pend = -1
+		return true
+	}
+	panic(fmt.Sprintf("mcheck: writeback from %d in dir %s owner %d", src, h.Dir, h.Owner))
+}

@@ -1,0 +1,139 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"pccsim/internal/core"
+	"pccsim/internal/harness"
+	"pccsim/internal/stats"
+	"pccsim/internal/workload"
+)
+
+func TestLatenciesOrdering(t *testing.T) {
+	lat := Latencies(core.DefaultConfig())
+	if !(lat.LocalRAC < lat.LocalHome) {
+		t.Fatalf("RAC (%f) should beat local memory (%f)", lat.LocalRAC, lat.LocalHome)
+	}
+	if !(lat.Remote2Hop < lat.Remote3Hop) {
+		t.Fatalf("2-hop (%f) should beat 3-hop (%f)", lat.Remote2Hop, lat.Remote3Hop)
+	}
+	if !(lat.LocalRAC < lat.Remote2Hop) {
+		t.Fatal("local RAC should beat any remote miss")
+	}
+}
+
+func TestLatenciesScaleWithHop(t *testing.T) {
+	slow := core.DefaultConfig()
+	slow.Network.HopLatency = 400
+	l1 := Latencies(core.DefaultConfig())
+	l2 := Latencies(slow)
+	if l2.Remote3Hop <= l1.Remote3Hop {
+		t.Fatal("remote latency did not scale with hop latency")
+	}
+	if l2.LocalRAC != l1.LocalRAC {
+		t.Fatal("local latency should not depend on hop latency")
+	}
+}
+
+func TestAvgHops(t *testing.T) {
+	cfg := core.DefaultConfig() // 16 nodes, radix 8
+	got := avgHops(cfg)
+	want := (7.0*1 + 8.0*2) / 15.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("avgHops = %f, want %f", got, want)
+	}
+	one := cfg
+	one.Nodes = 1
+	if avgHops(one) != 0 {
+		t.Fatal("single node should have 0 hops")
+	}
+}
+
+func TestLatencyLimit(t *testing.T) {
+	if got := LatencyLimit(0, 1); got != 1 {
+		t.Fatalf("zero accuracy limit = %f, want 1", got)
+	}
+	if got := LatencyLimit(0.5, 1); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("a=0.5 limit = %f, want 2", got)
+	}
+	if !math.IsInf(LatencyLimit(1, 1), 1) {
+		t.Fatal("perfect accuracy limit should be infinite")
+	}
+	if got := LatencyLimit(1, 0.5); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("a=1,f=0.5 limit = %f, want 2", got)
+	}
+}
+
+// The model must predict the simulator's measured speedups within a loose
+// band (it is a back-of-envelope model, not a second simulator) and always
+// get the direction right.
+func TestModelPredictsSimulatorSpeedups(t *testing.T) {
+	opts := harness.Options{Nodes: 16, Scale: 1}
+	base := core.DefaultConfig()
+	base.Nodes = opts.Nodes
+	mechCfg := base.WithMechanisms(1024*1024, 1024, true)
+
+	for _, wl := range workload.All() {
+		bst := harness.MustRun(base, wl, workload.Params{Nodes: 16})
+		mst := harness.MustRun(mechCfg, wl, workload.Params{Nodes: 16})
+		measured := float64(bst.ExecCycles) / float64(mst.ExecCycles)
+		predicted := PredictSpeedup(base, bst, mst)
+		t.Logf("%-8s measured %.3f predicted %.3f", wl.Name, measured, predicted)
+
+		if (measured > 1.02) != (predicted > 1.02) && measured > 1.05 {
+			t.Errorf("%s: model missed the direction: measured %.3f predicted %.3f",
+				wl.Name, measured, predicted)
+		}
+		// Loose band: the prediction must capture the magnitude within
+		// a factor of ~2 on the improvement part.
+		mImp, pImp := measured-1, predicted-1
+		if mImp > 0.05 && (pImp < mImp/3 || pImp > mImp*3) {
+			t.Errorf("%s: prediction off by >3x: measured +%.1f%% predicted +%.1f%%",
+				wl.Name, 100*mImp, 100*pImp)
+		}
+	}
+}
+
+// The latency limit must upper-bound what the simulator achieves at any
+// hop latency for the RAC-starved Appbt configuration.
+func TestLatencyLimitBoundsAppbt(t *testing.T) {
+	wl, _ := workload.ByName("appbt")
+	base := core.DefaultConfig()
+	base.Network.HopLatency = 400 // deep in the latency-dominated regime
+	bst := harness.MustRun(base, wl, workload.Params{Nodes: 16})
+
+	mech := base.WithMechanisms(32*1024, 32, true)
+	mst := harness.MustRun(mech, wl, workload.Params{Nodes: 16})
+
+	measured := float64(bst.ExecCycles) / float64(mst.ExecCycles)
+	f := RemoteFraction(base, bst)
+	// In the limit the removable share is bounded by how many remote
+	// misses the mechanisms eliminated at all.
+	removed := 1 - float64(mst.RemoteMisses())/float64(bst.RemoteMisses())
+	limit := LatencyLimit(removed+0.15, f) // slack: 2-hop conversions also save time
+	if measured > limit {
+		t.Fatalf("measured speedup %.3f exceeds the analytic limit %.3f (f=%.2f removed=%.2f)",
+			measured, limit, f, removed)
+	}
+}
+
+func TestStallCyclesMonotoneInMisses(t *testing.T) {
+	cfg := core.DefaultConfig()
+	a, b := stats.New(), stats.New()
+	a.Misses[stats.MissRemote3Hop] = 100
+	b.Misses[stats.MissRemote3Hop] = 100
+	b.Misses[stats.MissRemote2Hop] = 50
+	if StallCycles(cfg, b) <= StallCycles(cfg, a) {
+		t.Fatal("more misses should mean more stall")
+	}
+}
+
+func TestPredictSpeedupDegenerate(t *testing.T) {
+	cfg := core.DefaultConfig()
+	base := stats.New()
+	base.ExecCycles = 0
+	if !math.IsInf(PredictSpeedup(cfg, base, stats.New()), 1) {
+		t.Fatal("zero base cycles should predict infinity")
+	}
+}

@@ -1,0 +1,244 @@
+// Package msg defines the coherence message vocabulary exchanged between
+// hubs, mirroring the protocol of the paper: a conventional SGI-style
+// directory write-invalidate protocol (requests, interventions, replies,
+// NACK/retry) extended with directory-delegation messages (DELEGATE,
+// UNDELEGATE, new-home hints) and speculative-update pushes.
+//
+// Packets are sized like NUMALink-4 packets: a 32-byte minimum (header)
+// packet, plus the cache line payload for data-bearing messages.
+package msg
+
+import "fmt"
+
+// NodeID identifies a node (hub) in the system. Nodes are numbered from 0.
+type NodeID int
+
+// HomeMem is a pseudo-node used as the source of messages that originate in
+// a home node's memory/directory rather than a cache.
+const None NodeID = -1
+
+// Addr is a physical byte address. Protocol messages always carry
+// line-aligned addresses.
+type Addr uint64
+
+// Vector is a sharing bit vector over nodes (supports up to 64 nodes; the
+// paper models 16).
+type Vector uint64
+
+// Set returns v with node n added.
+func (v Vector) Set(n NodeID) Vector { return v | 1<<uint(n) }
+
+// Clear returns v with node n removed.
+func (v Vector) Clear(n NodeID) Vector { return v &^ (1 << uint(n)) }
+
+// Has reports whether node n is in the vector.
+func (v Vector) Has(n NodeID) bool { return v&(1<<uint(n)) != 0 }
+
+// Count returns the number of nodes in the vector.
+func (v Vector) Count() int {
+	c := 0
+	for x := v; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// Nodes returns the members of the vector in ascending order.
+func (v Vector) Nodes() []NodeID {
+	out := make([]NodeID, 0, v.Count())
+	for i := NodeID(0); v != 0; i++ {
+		if v&1 != 0 {
+			out = append(out, i)
+		}
+		v >>= 1
+	}
+	return out
+}
+
+// Only returns the single member of the vector; it panics if the vector
+// does not contain exactly one node (a directory-consistency bug).
+func (v Vector) Only() NodeID {
+	if v.Count() != 1 {
+		panic(fmt.Sprintf("msg: Vector %b does not have exactly one member", v))
+	}
+	return v.Nodes()[0]
+}
+
+// Type enumerates coherence message types.
+type Type uint8
+
+const (
+	// Requests (requester -> home, or requester -> delegated home).
+	GetShared Type = iota // read miss: request a read-only copy
+	GetExcl               // write miss: request an exclusive copy
+	Upgrade               // write hit on SHARED: request ownership, no data
+	Writeback             // evict dirty EXCL line back to home
+	// Interventions (home -> owner/sharers).
+	Intervention // downgrade EXCL owner to SHARED, forward data
+	Invalidate   // invalidate a SHARED copy
+	TransferReq  // forwarded GETX: owner passes exclusive copy to requester
+	// Replies.
+	SharedReply     // home -> requester: data, read-only
+	ExclReply       // home -> requester: data + pending InvAck count
+	UpgradeAck      // home -> requester: ownership granted + InvAck count
+	SharedResponse  // owner -> requester: data, read-only (3-hop read)
+	ExclResponse    // owner -> requester: data, exclusive (3-hop write)
+	SharedWriteback // owner -> home: downgraded data copy (3-hop read)
+	TransferAck     // owner -> home: ownership moved to requester
+	InvAck          // sharer -> requester: invalidation done
+	WBAck           // home -> evictor: writeback accepted
+	Nack            // try again later (busy home, races)
+	NackNotHome     // delegated node no longer home: drop hint, retry at home
+	// Delegation (the paper's §2.3).
+	Delegate      // home -> producer: directory entry handed over
+	Undelegate    // producer -> home: directory entry handed back
+	UndelegateAck // home -> producer: undelegation committed
+	NewHomeHint   // home -> requester: line is delegated, use new home
+	// Speculative updates (the paper's §2.4).
+	Update    // producer -> consumer RAC: pushed fresh data
+	UpdateAck // consumer -> producer: push accepted (keeps vector fresh)
+	// Dynamic self-invalidation (the related-work baseline of Lebeck &
+	// Wood / Lai & Falsafi the paper compares against): the owner
+	// eagerly downgrades after its write burst and sends the data home,
+	// converting later 3-hop reads into 2-hop home hits.
+	EagerWriteback // owner -> home: voluntary downgrade data
+)
+
+var typeNames = [...]string{
+	GetShared:       "GetShared",
+	GetExcl:         "GetExcl",
+	Upgrade:         "Upgrade",
+	Writeback:       "Writeback",
+	Intervention:    "Intervention",
+	Invalidate:      "Invalidate",
+	TransferReq:     "TransferReq",
+	SharedReply:     "SharedReply",
+	ExclReply:       "ExclReply",
+	UpgradeAck:      "UpgradeAck",
+	SharedResponse:  "SharedResponse",
+	ExclResponse:    "ExclResponse",
+	SharedWriteback: "SharedWriteback",
+	TransferAck:     "TransferAck",
+	InvAck:          "InvAck",
+	WBAck:           "WBAck",
+	Nack:            "Nack",
+	NackNotHome:     "NackNotHome",
+	Delegate:        "Delegate",
+	Undelegate:      "Undelegate",
+	UndelegateAck:   "UndelegateAck",
+	NewHomeHint:     "NewHomeHint",
+	Update:          "Update",
+	UpdateAck:       "UpdateAck",
+	EagerWriteback:  "EagerWriteback",
+}
+
+// NumTypes is the number of distinct message types.
+const NumTypes = len(typeNames)
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// CarriesData reports whether messages of this type carry a cache-line
+// payload (and therefore pay the line-size cost on the wire).
+func (t Type) CarriesData() bool {
+	switch t {
+	case SharedReply, ExclReply, SharedResponse, ExclResponse,
+		SharedWriteback, Writeback, Update, Delegate, Undelegate,
+		EagerWriteback:
+		return true
+	}
+	return false
+}
+
+// IsRequest reports whether this type is an initial request subject to
+// NACK/retry.
+func (t Type) IsRequest() bool {
+	switch t {
+	case GetShared, GetExcl, Upgrade:
+		return true
+	}
+	return false
+}
+
+// HeaderBytes is the minimum NUMALink packet size (Table 1 / §3.1).
+const HeaderBytes = 32
+
+// Message is one coherence packet in flight.
+type Message struct {
+	Type Type
+	Src  NodeID // sending hub
+	Dst  NodeID // receiving hub
+	Addr Addr   // line-aligned address
+
+	// Requester is the node on whose behalf a forwarded message travels
+	// (interventions, transfers) or that a reply ultimately serves.
+	Requester NodeID
+
+	// AckCount is the number of InvAcks the requester must collect
+	// (ExclReply, UpgradeAck, Delegate).
+	AckCount int
+
+	// Sharers carries directory state in Delegate/Undelegate messages.
+	Sharers Vector
+
+	// Owner carries the owner field of a directory entry in
+	// Delegate/Undelegate messages, and the new home in NewHomeHint.
+	Owner NodeID
+
+	// Version is the abstract data value carried by data-bearing
+	// messages: every store to a line increments the line's version.
+	// The simulator uses versions to check coherence invariants at
+	// runtime (§2.5's "invariant checking applied to the simulator").
+	Version uint64
+
+	// Dirty marks Undelegate/Writeback payloads that must be written to
+	// memory.
+	Dirty bool
+
+	// Fwd carries the type of a request being handed back to the home
+	// inside an Undelegate message (§2.3.3: "the UNDELE message includes
+	// the identity of this node and the original home node can handle
+	// the request").
+	Fwd Type
+
+	// PCHint marks a grant (ExclReply/UpgradeAck) for a line the home's
+	// detector classified producer-consumer; under dynamic
+	// self-invalidation the owner arms an eager downgrade for it.
+	PCHint bool
+
+	// GrantTxn is the ownership epoch an Intervention or TransferReq
+	// refers to: the Txn of the request that made the current owner
+	// exclusive. Owners act only on interventions matching the epoch of
+	// their copy (or of their in-flight grant) and drop stale ones —
+	// those belong to an ownership already ended by a crossing
+	// writeback, which the home completes from instead.
+	GrantTxn uint64
+
+	// Txn is the requester's transaction number (the hardware analogue
+	// is the CRB/TNUM of SGI hubs). Replies, NACKs and invalidation
+	// acknowledgements echo the number of the request they answer, so a
+	// requester can discard responses to superseded attempts — e.g. the
+	// data reply made redundant when a speculative update satisfied the
+	// miss first.
+	Txn uint64
+}
+
+// LineBytes is the coherence granularity (L2 line size, Table 1).
+const LineBytes = 128
+
+// Bytes returns the on-wire size of the message.
+func (m *Message) Bytes() int {
+	if m.Type.CarriesData() {
+		return HeaderBytes + LineBytes
+	}
+	return HeaderBytes
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("%s %d->%d addr=%#x req=%d acks=%d v=%d",
+		m.Type, m.Src, m.Dst, uint64(m.Addr), m.Requester, m.AckCount, m.Version)
+}

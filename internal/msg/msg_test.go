@@ -1,0 +1,150 @@
+package msg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorSetClearHas(t *testing.T) {
+	var v Vector
+	v = v.Set(3).Set(7).Set(0)
+	for _, n := range []NodeID{0, 3, 7} {
+		if !v.Has(n) {
+			t.Fatalf("vector missing node %d", n)
+		}
+	}
+	if v.Has(1) || v.Has(15) {
+		t.Fatal("vector has nodes never set")
+	}
+	v = v.Clear(3)
+	if v.Has(3) {
+		t.Fatal("Clear(3) did not remove node 3")
+	}
+	if v.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", v.Count())
+	}
+}
+
+func TestVectorNodesSorted(t *testing.T) {
+	v := Vector(0).Set(9).Set(1).Set(14)
+	nodes := v.Nodes()
+	want := []NodeID{1, 9, 14}
+	if len(nodes) != len(want) {
+		t.Fatalf("Nodes = %v, want %v", nodes, want)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestVectorOnly(t *testing.T) {
+	v := Vector(0).Set(5)
+	if v.Only() != 5 {
+		t.Fatalf("Only = %d, want 5", v.Only())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Only on 2-member vector did not panic")
+		}
+	}()
+	Vector(0).Set(1).Set(2).Only()
+}
+
+// Property: Count always equals the length of Nodes, and every node in
+// Nodes satisfies Has.
+func TestPropertyVectorConsistency(t *testing.T) {
+	f := func(bits uint16) bool {
+		v := Vector(bits)
+		nodes := v.Nodes()
+		if len(nodes) != v.Count() {
+			return false
+		}
+		for _, n := range nodes {
+			if !v.Has(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Set then Clear is identity for nodes not previously present.
+func TestPropertySetClearIdentity(t *testing.T) {
+	f := func(bits uint16, n uint8) bool {
+		node := NodeID(n % 64)
+		v := Vector(bits)
+		if v.Has(node) {
+			return v.Set(node) == v
+		}
+		return v.Set(node).Clear(node) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageBytes(t *testing.T) {
+	data := &Message{Type: SharedReply}
+	if data.Bytes() != HeaderBytes+LineBytes {
+		t.Fatalf("data message bytes = %d, want %d", data.Bytes(), HeaderBytes+LineBytes)
+	}
+	ctrl := &Message{Type: Invalidate}
+	if ctrl.Bytes() != HeaderBytes {
+		t.Fatalf("control message bytes = %d, want %d", ctrl.Bytes(), HeaderBytes)
+	}
+}
+
+func TestCarriesDataClasses(t *testing.T) {
+	wantData := []Type{SharedReply, ExclReply, SharedResponse, ExclResponse,
+		SharedWriteback, Writeback, Update, Delegate, Undelegate}
+	for _, ty := range wantData {
+		if !ty.CarriesData() {
+			t.Errorf("%v should carry data", ty)
+		}
+	}
+	wantCtrl := []Type{GetShared, GetExcl, Upgrade, Invalidate, InvAck, Nack,
+		NackNotHome, NewHomeHint, UpdateAck, UndelegateAck, TransferAck, WBAck,
+		Intervention, TransferReq, UpgradeAck}
+	for _, ty := range wantCtrl {
+		if ty.CarriesData() {
+			t.Errorf("%v should not carry data", ty)
+		}
+	}
+}
+
+func TestIsRequest(t *testing.T) {
+	for _, ty := range []Type{GetShared, GetExcl, Upgrade} {
+		if !ty.IsRequest() {
+			t.Errorf("%v should be a request", ty)
+		}
+	}
+	for _, ty := range []Type{SharedReply, Invalidate, Update, Writeback} {
+		if ty.IsRequest() {
+			t.Errorf("%v should not be a request", ty)
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty := Type(0); int(ty) < NumTypes; ty++ {
+		s := ty.String()
+		if s == "" {
+			t.Fatalf("type %d has empty name", ty)
+		}
+	}
+	if Type(200).String() != "Type(200)" {
+		t.Fatalf("out-of-range string = %q", Type(200).String())
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := &Message{Type: GetShared, Src: 1, Dst: 2, Addr: 0x1000}
+	if m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

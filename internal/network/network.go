@@ -1,0 +1,156 @@
+// Package network models the system interconnect: a NUMALink-4-style
+// fat-tree with eight children per non-leaf router (§3.1). Per the paper we
+// do not model contention inside routers, but we do model hub port
+// contention: each node's network interface serializes packets at a finite
+// bandwidth. Message latency is the hop count between nodes (1 within a
+// leaf router's group, 2 across the root) times the configurable hop
+// latency, 100 processor cycles by default (50 ns at 2 GHz).
+package network
+
+import (
+	"fmt"
+
+	"pccsim/internal/msg"
+	"pccsim/internal/sim"
+	"pccsim/internal/stats"
+)
+
+// Config holds interconnect timing parameters.
+type Config struct {
+	// Nodes is the number of hubs attached to the fabric.
+	Nodes int
+	// Radix is the number of children per non-leaf router (8 on
+	// NUMALink-4).
+	Radix int
+	// HopLatency is the per-hop latency in processor cycles (Table 1:
+	// 100 cycles = 50 ns).
+	HopLatency sim.Time
+	// LocalLatency is the hub-internal crossbar latency for messages a
+	// node sends to itself (delegated home on the producer, RAC fills).
+	LocalLatency sim.Time
+	// PortBytesPerCycle is the NI serialization bandwidth in bytes per
+	// processor cycle (Table 1: 16 B per hub cycle at 500 MHz hub /
+	// 2 GHz core = 4 B per core cycle; we default to 8 to account for
+	// the dual channels).
+	PortBytesPerCycle int
+}
+
+// DefaultConfig mirrors Table 1 for a 16-node system.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:             16,
+		Radix:             8,
+		HopLatency:        100,
+		LocalLatency:      20,
+		PortBytesPerCycle: 8,
+	}
+}
+
+// Handler receives delivered messages at a node.
+type Handler func(*msg.Message)
+
+// Network routes coherence messages between hubs with deterministic timing.
+type Network struct {
+	cfg      Config
+	eng      *sim.Engine
+	st       *stats.Stats
+	handlers []Handler
+	egress   []sim.Time // next cycle each node's output port is free
+	ingress  []sim.Time // next cycle each node's input port is free
+	inFlight int
+	Tracer   func(at sim.Time, m *msg.Message) // optional debug hook
+}
+
+// New creates a network over eng collecting into st.
+func New(eng *sim.Engine, cfg Config, st *stats.Stats) *Network {
+	if cfg.Nodes <= 0 {
+		panic("network: config needs at least one node")
+	}
+	if cfg.Radix < 2 {
+		cfg.Radix = 2
+	}
+	if cfg.PortBytesPerCycle <= 0 {
+		cfg.PortBytesPerCycle = 8
+	}
+	return &Network{
+		cfg:      cfg,
+		eng:      eng,
+		st:       st,
+		handlers: make([]Handler, cfg.Nodes),
+		egress:   make([]sim.Time, cfg.Nodes),
+		ingress:  make([]sim.Time, cfg.Nodes),
+	}
+}
+
+// Register installs the delivery handler for node n. Every node must
+// register before any message addressed to it is delivered.
+func (n *Network) Register(id msg.NodeID, h Handler) {
+	n.handlers[id] = h
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// InFlight reports the number of messages currently traveling.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// Hops returns the number of router-to-router hops between two nodes in
+// the fat tree: 0 for a node to itself, 1 between nodes under the same leaf
+// router, 2 through the root otherwise. (The paper's 16-node system has two
+// leaf routers of eight nodes each.)
+func (n *Network) Hops(a, b msg.NodeID) int {
+	if a == b {
+		return 0
+	}
+	if int(a)/n.cfg.Radix == int(b)/n.cfg.Radix {
+		return 1
+	}
+	return 2
+}
+
+// Send injects m into the fabric. Delivery is scheduled on the engine after
+// serialization at the source port, hop latency, and serialization at the
+// destination port. Messages between a node and itself use the hub-internal
+// crossbar (LocalLatency) and skip the NI ports.
+func (n *Network) Send(m *msg.Message) {
+	if int(m.Dst) < 0 || int(m.Dst) >= n.cfg.Nodes {
+		panic(fmt.Sprintf("network: message to invalid node: %s", m))
+	}
+	n.st.RecordMsg(m)
+	now := n.eng.Now()
+	if n.Tracer != nil {
+		n.Tracer(now, m)
+	}
+	n.inFlight++
+	if m.Src == m.Dst {
+		n.eng.Schedule(now+n.cfg.LocalLatency, func() { n.deliver(m) })
+		return
+	}
+	ser := sim.Time((m.Bytes() + n.cfg.PortBytesPerCycle - 1) / n.cfg.PortBytesPerCycle)
+	depart := maxTime(now, n.egress[m.Src])
+	n.egress[m.Src] = depart + ser
+	arrive := depart + ser + sim.Time(n.Hops(m.Src, m.Dst))*n.cfg.HopLatency
+	// Destination port reservation happens on arrival so that port time
+	// reflects actual arrival order.
+	n.eng.Schedule(arrive, func() {
+		at := maxTime(n.eng.Now(), n.ingress[m.Dst])
+		n.ingress[m.Dst] = at + ser
+		n.eng.Schedule(at+ser, func() { n.deliver(m) })
+	})
+}
+
+func (n *Network) deliver(m *msg.Message) {
+	n.inFlight--
+	h := n.handlers[m.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("network: no handler registered for node %d (msg %s)", m.Dst, m))
+	}
+	h(m)
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

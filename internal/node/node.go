@@ -1,0 +1,70 @@
+// Package node composes a full machine: the coherence system of
+// internal/core plus one modeled processor per hub, and runs complete
+// shared-memory programs on it.
+package node
+
+import (
+	"fmt"
+
+	"pccsim/internal/core"
+	"pccsim/internal/cpu"
+	"pccsim/internal/msg"
+	"pccsim/internal/sim"
+	"pccsim/internal/stats"
+)
+
+// Machine is a simulated multiprocessor ready to execute programs.
+type Machine struct {
+	Sys  *core.System
+	CPUs []*cpu.CPU
+	Bars *cpu.BarrierSet
+}
+
+// New builds a machine from cfg.
+func New(cfg core.Config) (*Machine, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Sys:  sys,
+		Bars: cpu.NewBarrierSet(sys.Eng, cfg.Nodes, cfg.BarrierLatency),
+	}, nil
+}
+
+// Run executes one stream per node to completion and returns aggregated
+// statistics; ExecCycles is the parallel-phase makespan (the time the last
+// core finishes). It returns an error if the program deadlocks (the event
+// queue drains with unfinished cores) or leaves transient protocol state.
+func (m *Machine) Run(streams []cpu.Stream) (*stats.Stats, error) {
+	if len(streams) != m.Sys.Cfg.Nodes {
+		return nil, fmt.Errorf("node: %d streams for %d nodes", len(streams), m.Sys.Cfg.Nodes)
+	}
+	m.CPUs = make([]*cpu.CPU, len(streams))
+	for i, s := range streams {
+		m.CPUs[i] = cpu.New(m.Sys.Eng, msg.NodeID(i), m.Sys.Hubs[i], s, m.Bars, m.Sys.Cfg.MaxStores)
+		m.CPUs[i].Start()
+	}
+	m.Sys.Run()
+
+	var makespan sim.Time
+	for i, c := range m.CPUs {
+		if !c.Done() {
+			return nil, fmt.Errorf("node: core %d did not finish (deadlock?)", i)
+		}
+		if c.Finish() > makespan {
+			makespan = c.Finish()
+		}
+	}
+	if err := m.Sys.QuiesceCheck(); err != nil {
+		return nil, fmt.Errorf("node: program drained dirty: %w", err)
+	}
+	agg := m.Sys.Aggregate()
+	agg.ExecCycles = uint64(makespan)
+	var bars uint64
+	for _, c := range m.CPUs {
+		bars += c.Barriers()
+	}
+	agg.Barriers = bars
+	return agg, nil
+}

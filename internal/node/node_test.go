@@ -1,0 +1,101 @@
+package node
+
+import (
+	"strings"
+	"testing"
+
+	"pccsim/internal/core"
+	"pccsim/internal/cpu"
+	"pccsim/internal/msg"
+)
+
+func cfg4() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.CheckInvariants = true
+	return cfg
+}
+
+func TestRunSimpleProgram(t *testing.T) {
+	m, err := New(cfg4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([]cpu.Stream, 4)
+	for i := range streams {
+		ops := []cpu.Op{
+			{Kind: cpu.Store, Addr: msg.Addr(0x1000 * (i + 1))},
+			{Kind: cpu.Barrier, Bar: 0},
+			{Kind: cpu.Load, Addr: msg.Addr(0x1000 * ((i+1)%4 + 1))},
+		}
+		streams[i] = &cpu.SliceStream{Ops: ops}
+	}
+	st, err := m.Run(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExecCycles == 0 {
+		t.Fatal("zero makespan")
+	}
+	if st.Loads != 4 || st.Stores != 4 {
+		t.Fatalf("loads=%d stores=%d, want 4/4", st.Loads, st.Stores)
+	}
+	if st.Barriers != 4 {
+		t.Fatalf("barriers=%d, want 4", st.Barriers)
+	}
+}
+
+func TestRunWrongStreamCount(t *testing.T) {
+	m, err := New(cfg4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(make([]cpu.Stream, 2))
+	if err == nil || !strings.Contains(err.Error(), "streams") {
+		t.Fatalf("stream-count mismatch not rejected: %v", err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// One core waits at a barrier no other core reaches.
+	m, err := New(cfg4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([]cpu.Stream, 4)
+	streams[0] = &cpu.SliceStream{Ops: []cpu.Op{{Kind: cpu.Barrier, Bar: 9}}}
+	for i := 1; i < 4; i++ {
+		streams[i] = &cpu.SliceStream{Ops: nil}
+	}
+	_, err = m.Run(streams)
+	if err == nil || !strings.Contains(err.Error(), "did not finish") {
+		t.Fatalf("deadlocked program not reported: %v", err)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	bad := core.DefaultConfig()
+	bad.Nodes = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestMakespanIsMaxFinish(t *testing.T) {
+	m, err := New(cfg4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([]cpu.Stream, 4)
+	streams[0] = &cpu.SliceStream{Ops: []cpu.Op{{Kind: cpu.Compute, Cycles: 50_000}}}
+	for i := 1; i < 4; i++ {
+		streams[i] = &cpu.SliceStream{Ops: []cpu.Op{{Kind: cpu.Compute, Cycles: 10}}}
+	}
+	st, err := m.Run(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExecCycles < 50_000 {
+		t.Fatalf("makespan %d < slowest core's 50000", st.ExecCycles)
+	}
+}

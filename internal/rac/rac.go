@@ -1,0 +1,202 @@
+// Package rac implements the remote access cache of §2.1: a per-hub cache
+// for remote data that plays three roles. It is (1) a victim cache for
+// remote lines evicted from the processor caches, (2) the landing zone for
+// speculative updates pushed by producers — the location researchers usually
+// assume can be "pushed into the processor cache", which real processors do
+// not allow — and (3) a surrogate main memory for lines delegated to this
+// node: for each delegated line the corresponding RAC entry is pinned.
+package rac
+
+import (
+	"pccsim/internal/cache"
+	"pccsim/internal/msg"
+)
+
+// Line is one RAC entry.
+type Line struct {
+	Addr    msg.Addr
+	State   cache.State // Shared (clean copy) or Excl (owner copy)
+	Dirty   bool
+	Version uint64
+	Grant   uint64 // ownership epoch for Excl victim copies
+	Pinned  bool   // surrogate-memory entry for a delegated line
+	// FromUpdate marks data that arrived via a speculative push;
+	// Consumed is set at the first local read, letting the statistics
+	// distinguish useful updates from wasted ones.
+	FromUpdate bool
+	Consumed   bool
+	valid      bool
+	lastUse    uint64
+}
+
+// Victim describes an entry displaced by Insert.
+type Victim struct {
+	Valid      bool
+	Addr       msg.Addr
+	State      cache.State
+	Dirty      bool
+	Version    uint64
+	Grant      uint64
+	FromUpdate bool
+	Consumed   bool
+}
+
+// RAC is a set-associative remote access cache with entry pinning.
+type RAC struct {
+	lineBytes int
+	numSets   int
+	ways      int
+	sets      []Line
+	useClock  uint64
+}
+
+// New creates a RAC of totalBytes capacity. Geometry rules match
+// cache.New: the set count must be a power of two.
+func New(totalBytes, ways, lineBytes int) *RAC {
+	if totalBytes%(ways*lineBytes) != 0 {
+		panic("rac: capacity not divisible into sets")
+	}
+	numSets := totalBytes / (ways * lineBytes)
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		panic("rac: set count must be a positive power of two")
+	}
+	return &RAC{
+		lineBytes: lineBytes,
+		numSets:   numSets,
+		ways:      ways,
+		sets:      make([]Line, numSets*ways),
+	}
+}
+
+// Capacity returns total capacity in bytes.
+func (r *RAC) Capacity() int { return r.numSets * r.ways * r.lineBytes }
+
+func (r *RAC) align(addr msg.Addr) msg.Addr { return addr &^ msg.Addr(r.lineBytes-1) }
+
+func (r *RAC) set(addr msg.Addr) []Line {
+	idx := (uint64(addr) / uint64(r.lineBytes)) & uint64(r.numSets-1)
+	return r.sets[idx*uint64(r.ways) : (idx+1)*uint64(r.ways)]
+}
+
+// Lookup returns the entry for addr, or nil.
+func (r *RAC) Lookup(addr msg.Addr) *Line {
+	addr = r.align(addr)
+	set := r.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].Addr == addr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Touch refreshes recency for addr and returns its entry.
+func (r *RAC) Touch(addr msg.Addr) *Line {
+	l := r.Lookup(addr)
+	if l != nil {
+		r.useClock++
+		l.lastUse = r.useClock
+	}
+	return l
+}
+
+// Insert places addr in the RAC, evicting the LRU unpinned entry of the set
+// if needed. It reports ok=false — without modifying the cache — when every
+// way of the set is pinned, which is the signal that a delegation must be
+// dropped before more delegated lines can be pinned here.
+func (r *RAC) Insert(addr msg.Addr, st cache.State) (*Line, Victim, bool) {
+	addr = r.align(addr)
+	set := r.set(addr)
+	slot := -1
+	for i := range set {
+		if set[i].valid && set[i].Addr == addr {
+			slot = i
+			break
+		}
+		if slot < 0 && !set[i].valid {
+			slot = i
+		}
+	}
+	var victim Victim
+	if slot < 0 {
+		for i := range set {
+			if set[i].Pinned {
+				continue
+			}
+			if slot < 0 || set[i].lastUse < set[slot].lastUse {
+				slot = i
+			}
+		}
+		if slot < 0 {
+			return nil, Victim{}, false // every way pinned
+		}
+		v := &set[slot]
+		victim = Victim{Valid: true, Addr: v.Addr, State: v.State, Dirty: v.Dirty, Version: v.Version,
+			Grant: v.Grant, FromUpdate: v.FromUpdate, Consumed: v.Consumed}
+	}
+	r.useClock++
+	pinned := set[slot].valid && set[slot].Addr == addr && set[slot].Pinned
+	set[slot] = Line{Addr: addr, State: st, valid: true, Pinned: pinned, lastUse: r.useClock}
+	return &set[slot], victim, true
+}
+
+// Pin marks addr as a surrogate-memory entry that Insert may not evict.
+// It reports false if addr is not present.
+func (r *RAC) Pin(addr msg.Addr) bool {
+	l := r.Lookup(addr)
+	if l == nil {
+		return false
+	}
+	l.Pinned = true
+	return true
+}
+
+// Unpin clears the pin on addr, making it evictable again.
+func (r *RAC) Unpin(addr msg.Addr) {
+	if l := r.Lookup(addr); l != nil {
+		l.Pinned = false
+	}
+}
+
+// Invalidate removes addr, returning its prior contents.
+func (r *RAC) Invalidate(addr msg.Addr) Victim {
+	l := r.Lookup(addr)
+	if l == nil {
+		return Victim{}
+	}
+	v := Victim{Valid: true, Addr: l.Addr, State: l.State, Dirty: l.Dirty, Version: l.Version,
+		Grant: l.Grant, FromUpdate: l.FromUpdate, Consumed: l.Consumed}
+	*l = Line{}
+	return v
+}
+
+// Count returns the number of valid entries.
+func (r *RAC) Count() int {
+	n := 0
+	for i := range r.sets {
+		if r.sets[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// PinnedCount returns the number of pinned entries.
+func (r *RAC) PinnedCount() int {
+	n := 0
+	for i := range r.sets {
+		if r.sets[i].valid && r.sets[i].Pinned {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach calls fn on every valid entry.
+func (r *RAC) ForEach(fn func(*Line)) {
+	for i := range r.sets {
+		if r.sets[i].valid {
+			fn(&r.sets[i])
+		}
+	}
+}

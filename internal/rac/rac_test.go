@@ -1,0 +1,167 @@
+package rac
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pccsim/internal/cache"
+	"pccsim/internal/msg"
+)
+
+func TestInsertLookup(t *testing.T) {
+	r := New(32*1024, 4, 128)
+	l, v, ok := r.Insert(0x4000, cache.Shared)
+	if !ok || v.Valid {
+		t.Fatalf("insert: ok=%v victim=%+v", ok, v)
+	}
+	l.Version = 7
+	got := r.Lookup(0x4008)
+	if got == nil || got.Version != 7 {
+		t.Fatal("lookup within line failed")
+	}
+}
+
+func TestPinnedNotEvicted(t *testing.T) {
+	r := New(2*128, 2, 128) // one set, two ways
+	r.Insert(0x0000, cache.Excl)
+	if !r.Pin(0x0000) {
+		t.Fatal("Pin failed on present line")
+	}
+	r.Insert(0x1000, cache.Shared)
+	// Third insert must evict the unpinned 0x1000, not the pinned line.
+	_, v, ok := r.Insert(0x2000, cache.Shared)
+	if !ok {
+		t.Fatal("insert with one unpinned way failed")
+	}
+	if !v.Valid || v.Addr != 0x1000 {
+		t.Fatalf("victim = %+v, want 0x1000", v)
+	}
+	if r.Lookup(0x0000) == nil {
+		t.Fatal("pinned line was evicted")
+	}
+}
+
+func TestAllWaysPinnedInsertFails(t *testing.T) {
+	r := New(2*128, 2, 128)
+	r.Insert(0x0000, cache.Excl)
+	r.Insert(0x1000, cache.Excl)
+	r.Pin(0x0000)
+	r.Pin(0x1000)
+	_, _, ok := r.Insert(0x2000, cache.Shared)
+	if ok {
+		t.Fatal("insert succeeded with every way pinned")
+	}
+	if r.Count() != 2 || r.PinnedCount() != 2 {
+		t.Fatal("failed insert modified the cache")
+	}
+}
+
+func TestReinsertKeepsPin(t *testing.T) {
+	r := New(2*128, 2, 128)
+	r.Insert(0x0000, cache.Shared)
+	r.Pin(0x0000)
+	l, _, ok := r.Insert(0x0000, cache.Excl)
+	if !ok || !l.Pinned {
+		t.Fatalf("reinsert dropped pin: ok=%v line=%+v", ok, l)
+	}
+	if l.State != cache.Excl {
+		t.Fatal("reinsert did not update state")
+	}
+}
+
+func TestUnpinAllowsEviction(t *testing.T) {
+	r := New(128, 1, 128)
+	r.Insert(0x0000, cache.Excl)
+	r.Pin(0x0000)
+	if _, _, ok := r.Insert(0x1000, cache.Shared); ok {
+		t.Fatal("insert over pinned direct-mapped entry succeeded")
+	}
+	r.Unpin(0x0000)
+	if _, _, ok := r.Insert(0x1000, cache.Shared); !ok {
+		t.Fatal("insert after unpin failed")
+	}
+}
+
+func TestPinAbsent(t *testing.T) {
+	r := New(1024, 4, 128)
+	if r.Pin(0x5000) {
+		t.Fatal("Pin of absent address reported success")
+	}
+	r.Unpin(0x5000) // must not panic
+}
+
+func TestInvalidate(t *testing.T) {
+	r := New(1024, 4, 128)
+	l, _, _ := r.Insert(0x100, cache.Excl)
+	l.Dirty = true
+	l.Version = 3
+	v := r.Invalidate(0x100)
+	if !v.Valid || !v.Dirty || v.Version != 3 {
+		t.Fatalf("victim = %+v", v)
+	}
+	if r.Lookup(0x100) != nil {
+		t.Fatal("still present after Invalidate")
+	}
+}
+
+func TestLRUAmongUnpinned(t *testing.T) {
+	r := New(4*128, 4, 128)
+	for i := 0; i < 4; i++ {
+		r.Insert(msg.Addr(i)*0x1000, cache.Shared)
+	}
+	r.Pin(0x0000)
+	r.Touch(0x1000) // 0x2000 becomes LRU among unpinned
+	_, v, _ := r.Insert(0x9000, cache.Shared)
+	if v.Addr != 0x2000 {
+		t.Fatalf("evicted %#x, want 0x2000", uint64(v.Addr))
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	r := New(32*1024, 4, 128)
+	if r.Capacity() != 32*1024 {
+		t.Fatalf("Capacity = %d", r.Capacity())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad geometry")
+		}
+	}()
+	New(100, 3, 128)
+}
+
+// Property: pinned entries survive arbitrary insert storms; Count never
+// exceeds capacity; no duplicate addresses.
+func TestPropertyPinnedSurvive(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		r := New(8*2*128, 2, 128)
+		r.Insert(0x0, cache.Excl)
+		r.Pin(0x0)
+		r.Insert(0x80*3, cache.Excl)
+		r.Pin(0x80 * 3)
+		for _, a := range addrs {
+			r.Insert(msg.Addr(a)*128, cache.Shared)
+		}
+		if r.Lookup(0x0) == nil || r.Lookup(0x80*3) == nil {
+			return false
+		}
+		if r.Count() > 16 {
+			return false
+		}
+		seen := map[msg.Addr]bool{}
+		dup := false
+		r.ForEach(func(l *Line) {
+			if seen[l.Addr] {
+				dup = true
+			}
+			seen[l.Addr] = true
+		})
+		return !dup
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-cycle events reordered at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(100, func() {
+		e.Schedule(10, func() { fired = true }) // in the past: clamp to now
+		if e.Now() != 100 {
+			t.Fatalf("Now = %d inside event, want 100", e.Now())
+		}
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("past-scheduled event did not fire")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("final Now = %d, want 100", e.Now())
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(40, func() {
+		e.After(7, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 47 {
+		t.Fatalf("After fired at %d, want 47", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, tm := range []Time{5, 10, 15, 20} {
+		tm := tm
+		e.Schedule(tm, func() { fired = append(fired, tm) })
+	}
+	if e.RunUntil(12) {
+		t.Fatal("RunUntil(12) reported drained with events pending")
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 5 and 10 only", fired)
+	}
+	if !e.RunUntil(100) {
+		t.Fatal("RunUntil(100) should drain")
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want 4 events", fired)
+	}
+}
+
+func TestRunSteps(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() { count++ })
+	}
+	if e.RunSteps(4) {
+		t.Fatal("RunSteps(4) reported drained")
+	}
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if !e.RunSteps(100) {
+		t.Fatal("RunSteps(100) should drain")
+	}
+}
+
+func TestCascadedEvents(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var chain func()
+	chain = func() {
+		depth++
+		if depth < 1000 {
+			e.After(1, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	e.Run()
+	if depth != 1000 {
+		t.Fatalf("depth = %d, want 1000", depth)
+	}
+	if e.Now() != 999 {
+		t.Fatalf("Now = %d, want 999", e.Now())
+	}
+	if e.Steps() != 1000 {
+		t.Fatalf("Steps = %d, want 1000", e.Steps())
+	}
+}
+
+// Property: events always execute in nondecreasing time order and the engine
+// visits every scheduled event exactly once, for arbitrary schedules.
+func TestPropertyTimeMonotonic(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var ran []Time
+		for _, tm := range times {
+			tm := Time(tm)
+			e.Schedule(tm, func() { ran = append(ran, tm) })
+		}
+		e.Run()
+		if len(ran) != len(times) {
+			return false
+		}
+		if !sort.SliceIsSorted(ran, func(i, j int) bool { return ran[i] < ran[j] }) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving scheduling-from-within-events preserves ordering.
+func TestPropertyNestedScheduling(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	e := NewEngine()
+	var last Time
+	violations := 0
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		if e.Now() < last {
+			violations++
+		}
+		last = e.Now()
+		if depth > 0 {
+			n := rng.Intn(3)
+			for i := 0; i < n; i++ {
+				e.After(Time(rng.Intn(50)), func() { spawn(depth - 1) })
+			}
+		}
+	}
+	for i := 0; i < 20; i++ {
+		e.Schedule(Time(rng.Intn(100)), func() { spawn(6) })
+	}
+	e.Run()
+	if violations != 0 {
+		t.Fatalf("%d time-order violations", violations)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%97), func() {})
+		}
+		e.Run()
+	}
+}

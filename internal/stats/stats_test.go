@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pccsim/internal/msg"
+)
+
+func TestRecordMsg(t *testing.T) {
+	s := New()
+	s.RecordMsg(&msg.Message{Type: msg.GetShared})
+	s.RecordMsg(&msg.Message{Type: msg.SharedReply})
+	s.RecordMsg(&msg.Message{Type: msg.SharedReply})
+	if s.TotalMessages() != 3 {
+		t.Fatalf("TotalMessages = %d, want 3", s.TotalMessages())
+	}
+	wantBytes := uint64(msg.HeaderBytes + 2*(msg.HeaderBytes+msg.LineBytes))
+	if s.TotalBytes() != wantBytes {
+		t.Fatalf("TotalBytes = %d, want %d", s.TotalBytes(), wantBytes)
+	}
+}
+
+func TestMissClassification(t *testing.T) {
+	s := New()
+	s.RecordMiss(MissLocalRAC)
+	s.RecordMiss(MissLocalHome)
+	s.RecordMiss(MissRemote2Hop)
+	s.RecordMiss(MissRemote2Hop)
+	s.RecordMiss(MissRemote3Hop)
+	if s.RemoteMisses() != 3 {
+		t.Fatalf("RemoteMisses = %d, want 3", s.RemoteMisses())
+	}
+	if s.LocalMisses() != 2 {
+		t.Fatalf("LocalMisses = %d, want 2", s.LocalMisses())
+	}
+	if s.TotalMisses() != 5 {
+		t.Fatalf("TotalMisses = %d, want 5", s.TotalMisses())
+	}
+}
+
+func TestConsumerDistBuckets(t *testing.T) {
+	s := New()
+	for _, n := range []int{1, 2, 2, 3, 4, 5, 9, 100, 0, -1} {
+		s.RecordConsumers(n)
+	}
+	want := [5]uint64{1, 2, 1, 1, 3} // 0 and -1 ignored
+	if s.ConsumerDist != want {
+		t.Fatalf("ConsumerDist = %v, want %v", s.ConsumerDist, want)
+	}
+	pct := s.ConsumerDistPercent()
+	var sum float64
+	for _, p := range pct {
+		sum += p
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("percentages sum to %f, want 100", sum)
+	}
+}
+
+func TestConsumerDistEmpty(t *testing.T) {
+	s := New()
+	if got := s.ConsumerDistPercent(); got != [5]float64{} {
+		t.Fatalf("empty dist percent = %v, want zeros", got)
+	}
+}
+
+func TestUpdateAccuracy(t *testing.T) {
+	s := New()
+	if s.UpdateAccuracy() != 0 {
+		t.Fatal("accuracy with no updates should be 0")
+	}
+	s.UpdatesSent = 10
+	s.UpdatesUseful = 7
+	if acc := s.UpdateAccuracy(); math.Abs(acc-0.7) > 1e-12 {
+		t.Fatalf("accuracy = %f, want 0.7", acc)
+	}
+}
+
+func TestNacksAndUndelegations(t *testing.T) {
+	s := New()
+	s.RecordMsg(&msg.Message{Type: msg.Nack})
+	s.RecordMsg(&msg.Message{Type: msg.NackNotHome})
+	s.RecordMsg(&msg.Message{Type: msg.GetShared})
+	if s.Nacks() != 2 {
+		t.Fatalf("Nacks = %d, want 2", s.Nacks())
+	}
+	s.RecordUndelegation(UndelCapacity)
+	s.RecordUndelegation(UndelRemoteWrite)
+	s.RecordUndelegation(UndelRemoteWrite)
+	if s.TotalUndelegations() != 3 {
+		t.Fatalf("TotalUndelegations = %d, want 3", s.TotalUndelegations())
+	}
+	if s.Undelegations[UndelRemoteWrite] != 2 {
+		t.Fatalf("remote-write undelegations = %d, want 2", s.Undelegations[UndelRemoteWrite])
+	}
+}
+
+func TestAddAggregates(t *testing.T) {
+	a, b := New(), New()
+	a.ExecCycles = 100
+	b.ExecCycles = 250
+	a.Loads, b.Loads = 5, 7
+	a.RecordMiss(MissRemote3Hop)
+	b.RecordMiss(MissRemote3Hop)
+	b.RecordMiss(MissLocalRAC)
+	a.RecordMsg(&msg.Message{Type: msg.Update})
+	b.RecordMsg(&msg.Message{Type: msg.Update})
+	a.RecordConsumers(2)
+	b.RecordConsumers(2)
+	a.Add(b)
+	if a.ExecCycles != 250 {
+		t.Fatalf("ExecCycles = %d, want max 250", a.ExecCycles)
+	}
+	if a.Loads != 12 {
+		t.Fatalf("Loads = %d, want 12", a.Loads)
+	}
+	if a.Misses[MissRemote3Hop] != 2 || a.Misses[MissLocalRAC] != 1 {
+		t.Fatalf("miss aggregation wrong: %v", a.Misses)
+	}
+	if a.MsgCount[msg.Update] != 2 {
+		t.Fatalf("msg aggregation wrong")
+	}
+	if a.ConsumerDist[1] != 2 {
+		t.Fatalf("consumer dist aggregation wrong: %v", a.ConsumerDist)
+	}
+}
+
+func TestDumpNonEmpty(t *testing.T) {
+	s := New()
+	s.RecordMsg(&msg.Message{Type: msg.GetShared})
+	s.RecordMiss(MissRemote2Hop)
+	var buf bytes.Buffer
+	s.Dump(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("Dump produced no output")
+	}
+}
+
+func TestMissClassStrings(t *testing.T) {
+	for c := MissClass(0); c < numMissClasses; c++ {
+		if c.String() == "" {
+			t.Fatalf("miss class %d has empty name", c)
+		}
+	}
+	for r := UndelegateReason(0); r < numUndelReasons; r++ {
+		if r.String() == "" {
+			t.Fatalf("undelegate reason %d has empty name", r)
+		}
+	}
+}
+
+// Property: Add is commutative on totals.
+func TestPropertyAddCommutative(t *testing.T) {
+	f := func(m1, m2, b1, b2 uint16) bool {
+		mk := func(m, b uint16) *Stats {
+			s := New()
+			for i := 0; i < int(m%50); i++ {
+				s.RecordMsg(&msg.Message{Type: msg.GetExcl})
+			}
+			for i := 0; i < int(b%50); i++ {
+				s.RecordMiss(MissRemote2Hop)
+			}
+			return s
+		}
+		x := mk(m1, b1)
+		x.Add(mk(m2, b2))
+		y := mk(m2, b2)
+		y.Add(mk(m1, b1))
+		return x.TotalMessages() == y.TotalMessages() && x.RemoteMisses() == y.RemoteMisses()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package trace records and renders coherence-message timelines: the
+// debugging view protocol architects actually read — per-line lifecycles
+// of requests, interventions, delegations and update pushes. It attaches
+// to the interconnect's tracer hook, keeps a bounded ring of events, and
+// can render either a raw timeline or a per-line protocol story.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pccsim/internal/msg"
+	"pccsim/internal/network"
+	"pccsim/internal/sim"
+)
+
+// Event is one traced message send.
+type Event struct {
+	At  sim.Time
+	Msg msg.Message // copied: the protocol reuses message structs
+}
+
+// Filter selects which messages to record; nil fields match everything.
+type Filter struct {
+	// Addr restricts to one line (0 = all).
+	Addr msg.Addr
+	// Node restricts to messages sent or received by one node (-1 = all).
+	Node msg.NodeID
+	// Types restricts to a message-type subset (empty = all).
+	Types []msg.Type
+}
+
+// Match reports whether m passes the filter.
+func (f *Filter) Match(m *msg.Message) bool {
+	if f == nil {
+		return true
+	}
+	if f.Addr != 0 && m.Addr != f.Addr {
+		return false
+	}
+	if f.Node >= 0 && m.Src != f.Node && m.Dst != f.Node {
+		return false
+	}
+	if len(f.Types) > 0 {
+		ok := false
+		for _, t := range f.Types {
+			if m.Type == t {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Recorder captures message events into a bounded ring buffer.
+type Recorder struct {
+	filter  *Filter
+	ring    []Event
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+// NewRecorder creates a recorder keeping the most recent capacity events
+// that pass the filter (filter may be nil). Use Filter.Node = -1 to match
+// all nodes.
+func NewRecorder(capacity int, filter *Filter) *Recorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Recorder{filter: filter, ring: make([]Event, capacity)}
+}
+
+// Attach hooks the recorder into a network. Only one tracer can be
+// attached to a network at a time.
+func (r *Recorder) Attach(n *network.Network) {
+	n.Tracer = func(at sim.Time, m *msg.Message) { r.Record(at, m) }
+}
+
+// Record adds one event (exported so other layers can inject).
+func (r *Recorder) Record(at sim.Time, m *msg.Message) {
+	if !r.filter.Match(m) {
+		return
+	}
+	r.total++
+	r.ring[r.next] = Event{At: at, Msg: *m}
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Total reports how many events were recorded (including overwritten ones).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Events returns the retained events in time order.
+func (r *Recorder) Events() []Event {
+	var out []Event
+	if r.wrapped {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring[:r.next]...)
+	}
+	return out
+}
+
+// Dump renders the retained timeline.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintf(w, "[%10d] %s\n", uint64(e.At), describe(&e.Msg))
+	}
+}
+
+// describe renders one message in protocol-story form.
+func describe(m *msg.Message) string {
+	base := fmt.Sprintf("%-15s %2d -> %-2d line %#x", m.Type, m.Src, m.Dst, uint64(m.Addr))
+	switch m.Type {
+	case msg.ExclReply, msg.UpgradeAck, msg.Delegate:
+		return fmt.Sprintf("%s  (acks=%d v=%d)", base, m.AckCount, m.Version)
+	case msg.SharedReply, msg.SharedResponse, msg.ExclResponse, msg.Update,
+		msg.SharedWriteback, msg.Writeback, msg.Undelegate:
+		return fmt.Sprintf("%s  (v=%d)", base, m.Version)
+	case msg.Intervention, msg.TransferReq:
+		return fmt.Sprintf("%s  (for node %d, epoch %d)", base, m.Requester, m.GrantTxn)
+	case msg.Invalidate, msg.InvAck:
+		return fmt.Sprintf("%s  (for node %d)", base, m.Requester)
+	case msg.NewHomeHint:
+		return fmt.Sprintf("%s  (new home %d)", base, m.Owner)
+	}
+	return base
+}
+
+// LineStory summarizes one line's recorded lifecycle: counts by message
+// type plus the delegation timeline.
+type LineStory struct {
+	Addr        msg.Addr
+	First, Last sim.Time
+	Counts      map[msg.Type]int
+	Delegations []sim.Time
+	Undeleg     []sim.Time
+}
+
+// Stories groups retained events per line, most active lines first.
+func (r *Recorder) Stories() []*LineStory {
+	byLine := make(map[msg.Addr]*LineStory)
+	for _, e := range r.Events() {
+		st := byLine[e.Msg.Addr]
+		if st == nil {
+			st = &LineStory{Addr: e.Msg.Addr, First: e.At, Counts: make(map[msg.Type]int)}
+			byLine[e.Msg.Addr] = st
+		}
+		st.Last = e.At
+		st.Counts[e.Msg.Type]++
+		switch e.Msg.Type {
+		case msg.Delegate:
+			st.Delegations = append(st.Delegations, e.At)
+		case msg.Undelegate:
+			st.Undeleg = append(st.Undeleg, e.At)
+		}
+	}
+	out := make([]*LineStory, 0, len(byLine))
+	for _, st := range byLine {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ni, nj := total(out[i]), total(out[j])
+		if ni != nj {
+			return ni > nj
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+func total(s *LineStory) int {
+	n := 0
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// DumpStories renders the per-line summaries.
+func (r *Recorder) DumpStories(w io.Writer) {
+	for _, st := range r.Stories() {
+		fmt.Fprintf(w, "line %#x: %d msgs over [%d..%d]", uint64(st.Addr), total(st), uint64(st.First), uint64(st.Last))
+		if len(st.Delegations) > 0 {
+			fmt.Fprintf(w, ", delegated %dx", len(st.Delegations))
+		}
+		if len(st.Undeleg) > 0 {
+			fmt.Fprintf(w, ", undelegated %dx", len(st.Undeleg))
+		}
+		fmt.Fprintln(w)
+		// Stable type order for readability.
+		var types []msg.Type
+		for t := range st.Counts {
+			types = append(types, t)
+		}
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		for _, t := range types {
+			fmt.Fprintf(w, "    %-16s %d\n", t, st.Counts[t])
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pccsim/internal/msg"
+	"pccsim/internal/network"
+	"pccsim/internal/sim"
+	"pccsim/internal/stats"
+)
+
+func ev(t msg.Type, src, dst msg.NodeID, addr msg.Addr) *msg.Message {
+	return &msg.Message{Type: t, Src: src, Dst: dst, Addr: addr}
+}
+
+func TestRecordAndDump(t *testing.T) {
+	r := NewRecorder(16, nil)
+	r.Record(10, ev(msg.GetShared, 1, 0, 0x100))
+	r.Record(20, ev(msg.SharedReply, 0, 1, 0x100))
+	if r.Total() != 2 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	var buf bytes.Buffer
+	r.Dump(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "GetShared") || !strings.Contains(out, "SharedReply") {
+		t.Fatalf("dump missing events:\n%s", out)
+	}
+	if strings.Index(out, "GetShared") > strings.Index(out, "SharedReply") {
+		t.Fatal("events out of order")
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRecorder(4, nil)
+	for i := 0; i < 10; i++ {
+		r.Record(sim.Time(i), ev(msg.GetShared, 0, 1, msg.Addr(i*128)))
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if evs[0].At != 6 || evs[3].At != 9 {
+		t.Fatalf("ring kept wrong window: %v..%v", evs[0].At, evs[3].At)
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+}
+
+func TestFilterByAddr(t *testing.T) {
+	r := NewRecorder(16, &Filter{Addr: 0x200, Node: -1})
+	r.Record(1, ev(msg.GetShared, 0, 1, 0x100))
+	r.Record(2, ev(msg.GetShared, 0, 1, 0x200))
+	if len(r.Events()) != 1 || r.Events()[0].Msg.Addr != 0x200 {
+		t.Fatalf("filter failed: %v", r.Events())
+	}
+}
+
+func TestFilterByNodeAndType(t *testing.T) {
+	r := NewRecorder(16, &Filter{Node: 3, Types: []msg.Type{msg.Update}})
+	r.Record(1, ev(msg.Update, 0, 3, 0x100))    // match (dst)
+	r.Record(2, ev(msg.Update, 3, 5, 0x100))    // match (src)
+	r.Record(3, ev(msg.Update, 0, 1, 0x100))    // wrong node
+	r.Record(4, ev(msg.GetShared, 0, 3, 0x100)) // wrong type
+	if len(r.Events()) != 2 {
+		t.Fatalf("filtered to %d events, want 2", len(r.Events()))
+	}
+}
+
+func TestAttachToNetwork(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := network.DefaultConfig()
+	cfg.Nodes = 4
+	n := network.New(eng, cfg, stats.New())
+	n.Register(1, func(m *msg.Message) {})
+	r := NewRecorder(16, nil)
+	r.Attach(n)
+	n.Send(ev(msg.GetExcl, 0, 1, 0x300))
+	eng.Run()
+	if r.Total() != 1 {
+		t.Fatalf("attached recorder captured %d events", r.Total())
+	}
+}
+
+func TestStories(t *testing.T) {
+	r := NewRecorder(64, nil)
+	// Line 0x100: busy; line 0x200: delegated once.
+	for i := 0; i < 5; i++ {
+		r.Record(sim.Time(i), ev(msg.GetShared, 1, 0, 0x100))
+	}
+	r.Record(10, ev(msg.Delegate, 0, 2, 0x200))
+	r.Record(20, ev(msg.Undelegate, 2, 0, 0x200))
+	stories := r.Stories()
+	if len(stories) != 2 {
+		t.Fatalf("%d stories, want 2", len(stories))
+	}
+	if stories[0].Addr != 0x100 {
+		t.Fatal("stories not sorted by activity")
+	}
+	var st *LineStory
+	for _, s := range stories {
+		if s.Addr == 0x200 {
+			st = s
+		}
+	}
+	if len(st.Delegations) != 1 || len(st.Undeleg) != 1 {
+		t.Fatalf("delegation timeline wrong: %+v", st)
+	}
+	var buf bytes.Buffer
+	r.DumpStories(&buf)
+	if !strings.Contains(buf.String(), "delegated 1x") {
+		t.Fatalf("story dump missing delegation:\n%s", buf.String())
+	}
+}
+
+func TestDescribeVariants(t *testing.T) {
+	// Every message type must render without panicking.
+	for ty := msg.Type(0); int(ty) < msg.NumTypes; ty++ {
+		m := ev(ty, 0, 1, 0x100)
+		if describe(m) == "" {
+			t.Fatalf("%v described as empty", ty)
+		}
+	}
+}
+
+func TestNilFilterMatchesAll(t *testing.T) {
+	var f *Filter
+	if !f.Match(ev(msg.GetShared, 0, 1, 0x1)) {
+		t.Fatal("nil filter rejected a message")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	r := NewRecorder(0, nil)
+	if len(r.ring) == 0 {
+		t.Fatal("zero capacity not defaulted")
+	}
+}

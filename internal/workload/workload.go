@@ -1,0 +1,222 @@
+// Package workload generates the seven benchmark programs of the paper's
+// evaluation (Table 2) as shared-memory op streams: Barnes and Ocean from
+// SPLASH-2, the Split-C Em3D, and the NAS kernels LU, CG, MG and Appbt.
+//
+// We cannot execute the original binaries (UVSIM runs MIPS executables);
+// instead each generator reproduces the property every studied mechanism
+// is driven by — the coherence-visible sharing pattern: which node writes
+// each line, which stable set of nodes reads it between writes (matching
+// the consumer-count distributions of Table 3), how phases are separated
+// by barriers, first-touch data placement, and the compute/communication
+// ratio that determines how much of the runtime remote misses can cost.
+// Problem sizes are scaled down so a pure-Go simulation finishes in
+// seconds; the Scale parameter restores pressure where an experiment needs
+// it (delegate-cache pressure in MG, RAC pressure in Appbt).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pccsim/internal/cpu"
+	"pccsim/internal/msg"
+	"pccsim/internal/sim"
+)
+
+// Params configures a workload build.
+type Params struct {
+	Nodes int   // processor count (16 in the paper)
+	Scale int   // problem-size multiplier; 0 means 1
+	Iters int   // outer iterations; 0 means the workload default
+	Seed  int64 // generator seed; 0 means a fixed per-workload seed
+}
+
+func (p Params) scale() int {
+	if p.Scale <= 0 {
+		return 1
+	}
+	return p.Scale
+}
+
+func (p Params) iters(def int) int {
+	if p.Iters <= 0 {
+		return def
+	}
+	return p.Iters
+}
+
+// Workload is one benchmark generator.
+type Workload struct {
+	Name      string
+	PaperSize string // Table 2's problem size
+	OurSize   func(p Params) string
+	Build     func(p Params) [][]cpu.Op
+}
+
+// All returns the seven benchmarks in the paper's order.
+func All() []*Workload {
+	return []*Workload{
+		Barnes(), Ocean(), Em3D(), LU(), CG(), MG(), Appbt(),
+	}
+}
+
+// ByName finds a workload by (case-sensitive) name.
+func ByName(name string) (*Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// LineBytes is the coherence granularity used for address layout.
+const LineBytes = 128
+
+// pageBytes matches the first-touch placement granularity.
+const pageBytes = 4096
+
+// program accumulates per-node op streams with shared barrier numbering.
+type program struct {
+	ops   [][]cpu.Op
+	nodes int
+	barID int
+}
+
+func newProgram(nodes int) *program {
+	return &program{ops: make([][]cpu.Op, nodes), nodes: nodes}
+}
+
+// barrier appends a global barrier to every stream.
+func (p *program) barrier() {
+	id := p.barID
+	p.barID++
+	for n := 0; n < p.nodes; n++ {
+		p.ops[n] = append(p.ops[n], cpu.Op{Kind: cpu.Barrier, Bar: id})
+	}
+}
+
+func (p *program) load(n int, addr msg.Addr) {
+	p.ops[n] = append(p.ops[n], cpu.Op{Kind: cpu.Load, Addr: addr})
+}
+
+func (p *program) store(n int, addr msg.Addr) {
+	p.ops[n] = append(p.ops[n], cpu.Op{Kind: cpu.Store, Addr: addr})
+}
+
+func (p *program) compute(n int, cycles sim.Time) {
+	p.ops[n] = append(p.ops[n], cpu.Op{Kind: cpu.Compute, Cycles: cycles})
+}
+
+// region lays out arrays of lines at page-aligned bases so first-touch
+// placement puts each owner's pages on its node.
+type region struct {
+	base msg.Addr
+}
+
+// newRegion returns an address-space carving helper; successive arrays are
+// placed at disjoint, page-aligned bases.
+func newRegion() *region { return &region{base: 0x1000_0000} }
+
+// array reserves lines*LineBytes rounded up to whole pages and returns the
+// base address of the array.
+func (r *region) array(lines int) msg.Addr {
+	base := r.base
+	bytes := msg.Addr(lines) * LineBytes
+	pages := (bytes + pageBytes - 1) / pageBytes
+	r.base += pages * pageBytes
+	// Keep one guard page between arrays so first-touch placement of
+	// neighbouring arrays never shares a page.
+	r.base += pageBytes
+	return base
+}
+
+// lineAddr returns the address of line i of an array. Each logical line is
+// padded to its own page when padToPage is set, so different owners' lines
+// never share a first-touch page.
+func lineAddr(base msg.Addr, i int) msg.Addr {
+	return base + msg.Addr(i)*LineBytes
+}
+
+// ownedArray allocates per-owner arrays: lines for node n live on pages
+// touched only by node n. It returns a lookup function (owner, index).
+func ownedArray(r *region, nodes, linesPerNode int) func(owner, i int) msg.Addr {
+	// Round each node's chunk up to whole pages so owners do not share
+	// first-touch pages.
+	linesPerPage := pageBytes / LineBytes
+	chunkLines := ((linesPerNode + linesPerPage - 1) / linesPerPage) * linesPerPage
+	base := r.array(nodes * chunkLines)
+	return func(owner, i int) msg.Addr {
+		if i >= linesPerNode {
+			panic(fmt.Sprintf("workload: line index %d out of %d", i, linesPerNode))
+		}
+		return lineAddr(base, owner*chunkLines+i)
+	}
+}
+
+// placedFirstTouch is firstTouch with an explicit placement schedule: the
+// page containing each owner's lines is first touched by placer(owner),
+// modeling initialization loops whose static schedule differs from the
+// compute partitioning — the common reason the producer of a line is not
+// its home node, and therefore the case directory delegation exists for.
+func placedFirstTouch(p *program, nodes int, addr func(owner, i int) msg.Addr,
+	lines int, placer func(owner int) int) {
+	for n := 0; n < nodes; n++ {
+		for i := 0; i < lines; i++ {
+			p.store(placer(n), addr(n, i))
+		}
+	}
+	p.barrier()
+	// The eventual owners warm their caches (and the detector sees the
+	// owner as a reader, not as noise).
+	for n := 0; n < nodes; n++ {
+		for i := 0; i < lines; i++ {
+			p.store(n, addr(n, i))
+		}
+	}
+	p.barrier()
+}
+
+// firstTouch makes every owner write its lines once so the memory system
+// places the pages, then synchronizes (the "initialization phase" of the
+// real benchmarks, excluded from the parallel phase the paper reports but
+// necessary for SGI's first-touch policy to take effect).
+func firstTouch(p *program, nodes int, addr func(owner, i int) msg.Addr, lines int) {
+	for n := 0; n < nodes; n++ {
+		for i := 0; i < lines; i++ {
+			p.store(n, addr(n, i))
+		}
+	}
+	p.barrier()
+}
+
+// consumersFor returns size stable consumers for a producer, chosen
+// deterministically as the following nodes.
+func consumersFor(owner, count, nodes int) []int {
+	if count > nodes-1 {
+		count = nodes - 1
+	}
+	out := make([]int, 0, count)
+	for j := 1; j <= count; j++ {
+		out = append(out, (owner+j)%nodes)
+	}
+	return out
+}
+
+// sampleConsumerCount draws a consumer-set size from a Table 3-style
+// distribution: dist[0..3] are the probabilities of 1..4 consumers (in
+// percent); the remainder draws uniformly from 5..max.
+func sampleConsumerCount(rng *rand.Rand, dist [4]float64, max int) int {
+	x := rng.Float64() * 100
+	acc := 0.0
+	for i, p := range dist {
+		acc += p
+		if x < acc {
+			return i + 1
+		}
+	}
+	if max < 5 {
+		return max
+	}
+	return 5 + rng.Intn(max-4)
+}

@@ -1,0 +1,231 @@
+// Package pccsim is a simulator of the adaptive cache coherence protocol of
+// Cheng, Carter and Dai, "An Adaptive Cache Coherence Protocol Optimized
+// for Producer-Consumer Sharing" (HPCA 2007).
+//
+// It models a 16-node SGI-style cc-NUMA multiprocessor — fat-tree
+// interconnect, per-node L1/L2 caches, directory-based write-invalidate
+// coherence with NACK/retry — extended with the paper's three mechanisms:
+// a producer-consumer sharing detector in the directory cache, directory
+// delegation to the producer node, and speculative updates driven by
+// delayed interventions that land in remote access caches.
+//
+// Quick start:
+//
+//	cfg := pccsim.DefaultConfig().WithMechanisms(32*1024, 32, true)
+//	st, err := pccsim.RunWorkload(cfg, "em3d", pccsim.WorkloadParams{Nodes: cfg.Nodes})
+//	fmt.Println(st.ExecCycles, st.RemoteMisses())
+//
+// Custom programs are built from per-node operation streams:
+//
+//	prog := pccsim.NewProgram(cfg.Nodes)
+//	prog.Store(0, 0x1000)  // node 0 produces
+//	prog.Barrier()
+//	prog.Load(1, 0x1000)   // node 1 consumes
+//	m, _ := pccsim.NewMachine(cfg)
+//	st, _ := m.Run(prog)
+package pccsim
+
+import (
+	"fmt"
+	"io"
+
+	"pccsim/internal/core"
+	"pccsim/internal/cpu"
+	"pccsim/internal/msg"
+	"pccsim/internal/node"
+	"pccsim/internal/sim"
+	"pccsim/internal/stats"
+	"pccsim/internal/trace"
+	"pccsim/internal/workload"
+)
+
+// Config describes the simulated machine; see DefaultConfig for the
+// paper's Table 1 parameters.
+type Config = core.Config
+
+// Stats holds the counters of one run; see its methods for the derived
+// metrics the paper reports (remote misses, traffic, update accuracy).
+type Stats = stats.Stats
+
+// WorkloadParams sizes a benchmark build.
+type WorkloadParams = workload.Params
+
+// Addr is a physical byte address.
+type Addr = msg.Addr
+
+// Time is a duration in 2 GHz processor cycles.
+type Time = sim.Time
+
+// NoIntervention disables the delayed intervention (the "infinite delay"
+// point of the paper's Figure 9).
+const NoIntervention = core.NoIntervention
+
+// DefaultConfig returns the Table 1 baseline system (no RAC, no
+// delegation, no updates). Use Config.WithMechanisms to enable the paper's
+// hardware.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Workloads lists the seven benchmark generators in the paper's order.
+func Workloads() []string {
+	all := workload.All()
+	names := make([]string, len(all))
+	for i, w := range all {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// Machine is a ready-to-run simulated multiprocessor. A Machine runs one
+// program; build a fresh one per experiment so caches start cold.
+type Machine struct {
+	inner *node.Machine
+}
+
+// NewMachine builds a machine from cfg.
+func NewMachine(cfg Config) (*Machine, error) {
+	m, err := node.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{inner: m}, nil
+}
+
+// TraceRecorder captures the machine's coherence-message timeline for
+// debugging; see Machine.Trace.
+type TraceRecorder struct {
+	inner *trace.Recorder
+}
+
+// Dump writes the retained message timeline.
+func (t *TraceRecorder) Dump(w io.Writer) { t.inner.Dump(w) }
+
+// DumpStories writes per-line lifecycle summaries (message counts,
+// delegation history).
+func (t *TraceRecorder) DumpStories(w io.Writer) { t.inner.DumpStories(w) }
+
+// Total reports how many messages were recorded.
+func (t *TraceRecorder) Total() uint64 { return t.inner.Total() }
+
+// Trace attaches a message recorder keeping the most recent capacity
+// events. line restricts recording to one cache line (0 = all lines).
+// Call before Run.
+func (m *Machine) Trace(capacity int, line Addr) *TraceRecorder {
+	var f *trace.Filter
+	if line != 0 {
+		f = &trace.Filter{Addr: line, Node: -1}
+	}
+	r := trace.NewRecorder(capacity, f)
+	r.Attach(m.inner.Sys.Net)
+	return &TraceRecorder{inner: r}
+}
+
+// Run executes the program to completion and returns its statistics.
+func (m *Machine) Run(p *Program) (*Stats, error) {
+	if len(p.ops) != m.inner.Sys.Cfg.Nodes {
+		return nil, fmt.Errorf("pccsim: program built for %d nodes, machine has %d",
+			len(p.ops), m.inner.Sys.Cfg.Nodes)
+	}
+	streams := make([]cpu.Stream, len(p.ops))
+	for i := range p.ops {
+		streams[i] = &cpu.SliceStream{Ops: p.ops[i]}
+	}
+	return m.inner.Run(streams)
+}
+
+// SynthParams parameterizes BuildSynthetic; see workload.SynthParams.
+type SynthParams = workload.SynthParams
+
+// DefaultSynthParams returns a communication-heavy synthetic shape.
+func DefaultSynthParams(nodes int) SynthParams { return workload.DefaultSynthParams(nodes) }
+
+// BuildSynthetic constructs a generic producer-consumer program with
+// explicit knobs for working-set size, consumer-set size, remote-home
+// fraction and compute intensity — the generalization of the seven fixed
+// benchmarks, for exploring the mechanisms on arbitrary sharing shapes.
+func BuildSynthetic(p SynthParams) (*Program, error) {
+	ops, err := workload.Synthetic(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ops: ops}, nil
+}
+
+// BuildWorkload constructs the named benchmark as a Program, for running
+// on a Machine you configure yourself (e.g. with a tracer attached).
+func BuildWorkload(name string, p WorkloadParams) (*Program, error) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("pccsim: unknown workload %q (have %v)", name, Workloads())
+	}
+	if p.Nodes <= 0 {
+		return nil, fmt.Errorf("pccsim: BuildWorkload needs WorkloadParams.Nodes")
+	}
+	return &Program{ops: w.Build(p)}, nil
+}
+
+// RunWorkload builds the named benchmark and runs it on a fresh machine.
+func RunWorkload(cfg Config, name string, p WorkloadParams) (*Stats, error) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("pccsim: unknown workload %q (have %v)", name, Workloads())
+	}
+	if p.Nodes == 0 {
+		p.Nodes = cfg.Nodes
+	}
+	if p.Nodes != cfg.Nodes {
+		return nil, fmt.Errorf("pccsim: workload sized for %d nodes, config has %d", p.Nodes, cfg.Nodes)
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(&Program{ops: w.Build(p)})
+}
+
+// Program is a per-node sequence of memory operations, compute delays and
+// barriers — the unit a Machine executes.
+type Program struct {
+	ops   [][]cpu.Op
+	barID int
+}
+
+// NewProgram creates an empty program over the given node count.
+func NewProgram(nodes int) *Program {
+	return &Program{ops: make([][]cpu.Op, nodes)}
+}
+
+// Nodes returns the program's node count.
+func (p *Program) Nodes() int { return len(p.ops) }
+
+// Len returns the total operation count across nodes.
+func (p *Program) Len() int {
+	n := 0
+	for _, s := range p.ops {
+		n += len(s)
+	}
+	return n
+}
+
+// Load appends a blocking read of addr on node n.
+func (p *Program) Load(n int, addr Addr) {
+	p.ops[n] = append(p.ops[n], cpu.Op{Kind: cpu.Load, Addr: addr})
+}
+
+// Store appends a buffered write of addr on node n.
+func (p *Program) Store(n int, addr Addr) {
+	p.ops[n] = append(p.ops[n], cpu.Op{Kind: cpu.Store, Addr: addr})
+}
+
+// Compute appends a pure-compute delay on node n.
+func (p *Program) Compute(n int, cycles Time) {
+	p.ops[n] = append(p.ops[n], cpu.Op{Kind: cpu.Compute, Cycles: cycles})
+}
+
+// Barrier appends a global barrier across every node.
+func (p *Program) Barrier() {
+	id := p.barID
+	p.barID++
+	for n := range p.ops {
+		p.ops[n] = append(p.ops[n], cpu.Op{Kind: cpu.Barrier, Bar: id})
+	}
+}

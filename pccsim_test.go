@@ -1,0 +1,155 @@
+package pccsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"pccsim"
+)
+
+func TestWorkloadsList(t *testing.T) {
+	names := pccsim.Workloads()
+	want := []string{"barnes", "ocean", "em3d", "lu", "cg", "mg", "appbt"}
+	if len(names) != len(want) {
+		t.Fatalf("Workloads() = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Workloads()[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestRunWorkloadBaseline(t *testing.T) {
+	cfg := pccsim.DefaultConfig()
+	cfg.Nodes = 8
+	st, err := pccsim.RunWorkload(cfg, "ocean", pccsim.WorkloadParams{Nodes: 8, Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExecCycles == 0 || st.Loads == 0 || st.Stores == 0 {
+		t.Fatal("empty run")
+	}
+}
+
+func TestRunWorkloadUnknown(t *testing.T) {
+	_, err := pccsim.RunWorkload(pccsim.DefaultConfig(), "quake3", pccsim.WorkloadParams{})
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("unknown workload not rejected: %v", err)
+	}
+}
+
+func TestRunWorkloadNodeMismatch(t *testing.T) {
+	cfg := pccsim.DefaultConfig() // 16 nodes
+	_, err := pccsim.RunWorkload(cfg, "ocean", pccsim.WorkloadParams{Nodes: 4})
+	if err == nil {
+		t.Fatal("node-count mismatch not rejected")
+	}
+}
+
+func TestMechanismsImprovePCWorkload(t *testing.T) {
+	cfg := pccsim.DefaultConfig()
+	cfg.Nodes = 8
+	params := pccsim.WorkloadParams{Nodes: 8}
+	base, err := pccsim.RunWorkload(cfg, "em3d", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := pccsim.RunWorkload(cfg.WithMechanisms(32*1024, 32, true), "em3d", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech.ExecCycles >= base.ExecCycles {
+		t.Fatalf("mechanisms did not speed up em3d: %d >= %d", mech.ExecCycles, base.ExecCycles)
+	}
+	if mech.RemoteMisses() >= base.RemoteMisses() {
+		t.Fatalf("mechanisms did not reduce remote misses: %d >= %d",
+			mech.RemoteMisses(), base.RemoteMisses())
+	}
+	if mech.UpdatesSent == 0 {
+		t.Fatal("no speculative updates sent")
+	}
+}
+
+func TestProgramAPI(t *testing.T) {
+	cfg := pccsim.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.CheckInvariants = true
+	m, err := pccsim.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pccsim.NewProgram(4)
+	if p.Nodes() != 4 {
+		t.Fatalf("Nodes() = %d", p.Nodes())
+	}
+	p.Store(0, 0x1000)
+	p.Barrier()
+	p.Load(1, 0x1000)
+	p.Load(2, 0x1000)
+	p.Compute(3, 100)
+	p.Barrier()
+	if p.Len() != 4+8 { // 4 memory/compute ops + 2 barriers x 4 nodes
+		t.Fatalf("Len() = %d", p.Len())
+	}
+	st, err := m.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Loads != 2 || st.Stores != 1 {
+		t.Fatalf("loads=%d stores=%d", st.Loads, st.Stores)
+	}
+}
+
+func TestProgramMachineMismatch(t *testing.T) {
+	cfg := pccsim.DefaultConfig()
+	cfg.Nodes = 4
+	m, err := pccsim.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(pccsim.NewProgram(8)); err == nil {
+		t.Fatal("program/machine node mismatch not rejected")
+	}
+}
+
+func TestCustomProducerConsumer(t *testing.T) {
+	// The paper's pattern via the public API: detection, delegation,
+	// updates, local consumer hits.
+	cfg := pccsim.DefaultConfig().WithMechanisms(32*1024, 32, true)
+	cfg.Nodes = 4
+	cfg.CheckInvariants = true
+	m, err := pccsim.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pccsim.NewProgram(4)
+	p.Store(3, 0x4000) // home = 3
+	p.Barrier()
+	for round := 0; round < 8; round++ {
+		p.Store(0, 0x4000)
+		p.Barrier()
+		p.Load(1, 0x4000)
+		p.Load(2, 0x4000)
+		p.Barrier()
+	}
+	st, err := m.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delegations == 0 {
+		t.Fatal("pattern never delegated")
+	}
+	if st.UpdatesSent == 0 || st.RACMisses() == 0 {
+		t.Fatalf("updates did not localize consumer reads: sent=%d racHits=%d",
+			st.UpdatesSent, st.RACMisses())
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	bad := pccsim.DefaultConfig()
+	bad.EnableUpdates = true // without RAC/delegation
+	if _, err := pccsim.NewMachine(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
