@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check vet build test smoke bench clean
+
+check: vet build test smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# A fast end-to-end run of the benchmark CLI on the worker pool.
+smoke:
+	$(GO) run ./cmd/pccbench -exp fig7 -parallel 4 > /dev/null
+	@echo "smoke: pccbench -exp fig7 -parallel 4 OK"
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+clean:
+	$(GO) clean ./...

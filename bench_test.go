@@ -55,7 +55,10 @@ func BenchmarkTable2Workloads(b *testing.B) {
 func BenchmarkTable3ConsumerDistribution(b *testing.B) {
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
-		dist := harness.Table3(opts)
+		dist, err := harness.Table3(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i == b.N-1 {
 			for _, wl := range workload.All() {
 				d := dist[wl.Name]
@@ -101,8 +104,11 @@ func BenchmarkFig7(b *testing.B) {
 func BenchmarkFig8EqualArea(b *testing.B) {
 	opts := benchOpts()
 	var rows []harness.Fig8Row
+	var err error
 	for i := 0; i < b.N; i++ {
-		rows = harness.Fig8(opts)
+		if rows, err = harness.Fig8(opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range rows {
 		switch {
@@ -143,8 +149,11 @@ func BenchmarkFig9InterventionDelay(b *testing.B) {
 func BenchmarkFig10HopLatency(b *testing.B) {
 	opts := benchOpts()
 	var rows []harness.Fig10Row
+	var err error
 	for i := 0; i < b.N; i++ {
-		rows = harness.Fig10(opts)
+		if rows, err = harness.Fig10(opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range rows {
 		b.ReportMetric(r.Speedup, fmt.Sprintf("speedup@%dns", r.HopNsec))
@@ -156,8 +165,11 @@ func BenchmarkFig11DelegateSize(b *testing.B) {
 	opts := benchOpts()
 	opts.Iters = 0 // MG needs its full V-cycles for table pressure
 	var rows []harness.SweepRow
+	var err error
 	for i := 0; i < b.N; i++ {
-		rows = harness.Fig11(opts)
+		if rows, err = harness.Fig11(opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range rows[1:] {
 		b.ReportMetric(r.Speedup, metricName(r.Config))
@@ -169,8 +181,11 @@ func BenchmarkFig12RACSize(b *testing.B) {
 	opts := benchOpts()
 	opts.Iters = 0 // Appbt needs its full timesteps for RAC pressure
 	var rows []harness.SweepRow
+	var err error
 	for i := 0; i < b.N; i++ {
-		rows = harness.Fig12(opts)
+		if rows, err = harness.Fig12(opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range rows[1:] {
 		b.ReportMetric(r.Speedup, metricName(r.Config))
@@ -182,8 +197,11 @@ func BenchmarkFig12RACSize(b *testing.B) {
 func BenchmarkAblationDelegationOnly(b *testing.B) {
 	opts := benchOpts()
 	var rows []harness.AblationRow
+	var err error
 	for i := 0; i < b.N; i++ {
-		rows = harness.Ablation(opts)
+		if rows, err = harness.Ablation(opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range rows {
 		b.ReportMetric(r.DelegSpeedup, r.App+"-deleg")
@@ -222,8 +240,11 @@ func metricName(label string) string {
 func BenchmarkExtensions(b *testing.B) {
 	opts := benchOpts()
 	var rows []harness.ExtRow
+	var err error
 	for i := 0; i < b.N; i++ {
-		rows = harness.Extensions(opts)
+		if rows, err = harness.Extensions(opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range rows {
 		b.ReportMetric(r.Adaptive, r.App+"-adaptive")
@@ -234,8 +255,11 @@ func BenchmarkExtensions(b *testing.B) {
 func BenchmarkRelatedWork(b *testing.B) {
 	opts := benchOpts()
 	var rows []harness.RelatedRow
+	var err error
 	for i := 0; i < b.N; i++ {
-		rows = harness.RelatedWork(opts)
+		if rows, err = harness.RelatedWork(opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range rows {
 		b.ReportMetric(r.SelfInval, r.App+"-dsi")

@@ -1,57 +1,110 @@
 // Command pccbench regenerates the paper's evaluation: every table and
 // figure, selected with -exp. See DESIGN.md for the experiment index.
 //
-//	pccbench -exp fig7            # the headline comparison
-//	pccbench -exp all -scale 2    # everything at double problem size
+//	pccbench -exp fig7                  # the headline comparison
+//	pccbench -exp all -scale 2          # everything at double problem size
+//	pccbench -exp all -parallel 8       # eight simulation workers
+//	pccbench -exp all -progress         # per-cell progress on stderr
+//
+// Independent simulation cells run concurrently on a worker pool
+// (default GOMAXPROCS; -parallel overrides) and identical cells recurring
+// across figures are simulated once per invocation. Output is
+// byte-identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
+	"time"
 
 	"pccsim/internal/core"
 	"pccsim/internal/harness"
+	"pccsim/internal/runner"
 )
+
+// csvExperiments lists the experiments with a CSV writer, in the
+// experiment index's order.
+var csvExperiments = []string{"table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation"}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|table2|table3|fig7|fig8|fig9|fig10|fig11|fig12|ablation|extensions|related|all")
 	nodes := flag.Int("nodes", 16, "processor count")
 	scale := flag.Int("scale", 1, "workload problem-size multiplier")
 	iters := flag.Int("iters", 0, "workload iteration override (0 = defaults)")
-	format := flag.String("format", "table", "output format: table|csv|json (csv supports fig7/fig9/fig10/fig11/fig12; json runs everything)")
+	parallel := flag.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "report per-cell start/finish on stderr")
+	format := flag.String("format", "table", "output format: table|csv|json (csv supports "+joinList(csvExperiments)+"; json runs everything)")
 	flag.Parse()
 
-	opts := harness.Options{Nodes: *nodes, Scale: *scale, Iters: *iters}
+	opts := harness.Options{Nodes: *nodes, Scale: *scale, Iters: *iters, Parallel: *parallel}
+	if *progress {
+		opts.Progress = progressPrinter()
+	}
 	out := os.Stdout
+	sess := harness.NewSession(opts)
 
 	switch *format {
 	case "json":
-		rep := harness.RunAll(opts)
+		rep, err := harness.RunAll(opts)
+		if err != nil {
+			fail(err)
+		}
 		if err := rep.WriteJSON(out); err != nil {
-			fmt.Fprintln(os.Stderr, "pccbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	case "csv":
 		var err error
 		switch *exp {
+		case "table3":
+			var dist map[string][5]float64
+			if dist, err = sess.Table3(); err == nil {
+				err = harness.WriteTable3CSV(out, dist)
+			}
 		case "fig7":
-			err = harness.WriteFig7CSV(out, harness.Fig7(opts))
+			var rows []harness.Row
+			if rows, err = sess.Fig7(); err == nil {
+				err = harness.WriteFig7CSV(out, rows)
+			}
+		case "fig8":
+			var rows []harness.Fig8Row
+			if rows, err = sess.Fig8(); err == nil {
+				err = harness.WriteFig8CSV(out, rows)
+			}
 		case "fig9":
-			err = harness.WriteFig9CSV(out, harness.Fig9(opts))
+			var rows []harness.Fig9Row
+			if rows, err = sess.Fig9(); err == nil {
+				err = harness.WriteFig9CSV(out, rows)
+			}
 		case "fig10":
-			err = harness.WriteFig10CSV(out, harness.Fig10(opts))
+			var rows []harness.Fig10Row
+			if rows, err = sess.Fig10(); err == nil {
+				err = harness.WriteFig10CSV(out, rows)
+			}
 		case "fig11":
-			err = harness.WriteSweepCSV(out, harness.Fig11(opts))
+			var rows []harness.SweepRow
+			if rows, err = sess.Fig11(); err == nil {
+				err = harness.WriteSweepCSV(out, rows)
+			}
 		case "fig12":
-			err = harness.WriteSweepCSV(out, harness.Fig12(opts))
+			var rows []harness.SweepRow
+			if rows, err = sess.Fig12(); err == nil {
+				err = harness.WriteSweepCSV(out, rows)
+			}
+		case "ablation":
+			var rows []harness.AblationRow
+			if rows, err = sess.Ablation(); err == nil {
+				err = harness.WriteAblationCSV(out, rows)
+			}
 		default:
-			err = fmt.Errorf("no CSV writer for experiment %q", *exp)
+			fmt.Fprintf(os.Stderr, "pccbench: no CSV writer for experiment %q; csv supports: %s\n",
+				*exp, joinList(csvExperiments))
+			os.Exit(2)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pccbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	case "table":
@@ -60,7 +113,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	run := func(name string) {
+	run := func(name string) error {
 		switch name {
 		case "table1":
 			fmt.Fprintln(out, "== Table 1: system configuration (large config shown) ==")
@@ -71,48 +124,129 @@ func main() {
 			fmt.Fprintln(out, "== Table 2: applications and data sets ==")
 			harness.PrintTable2(out, opts)
 		case "table3":
+			dist, err := sess.Table3()
+			if err != nil {
+				return err
+			}
 			fmt.Fprintln(out, "== Table 3: number of consumers in producer-consumer patterns ==")
-			harness.PrintTable3(out, harness.Table3(opts))
+			harness.PrintTable3(out, dist)
 		case "fig7":
+			rows, err := sess.Fig7()
+			if err != nil {
+				return err
+			}
 			fmt.Fprintln(out, "== Figure 7: speedup, network messages, remote misses ==")
-			harness.PrintFig7(out, harness.Fig7(opts))
+			harness.PrintFig7(out, rows)
 		case "fig8":
+			rows, err := sess.Fig8()
+			if err != nil {
+				return err
+			}
 			fmt.Fprintln(out, "== Figure 8: equal silicon area (smarter vs larger caches) ==")
-			harness.PrintFig8(out, harness.Fig8(opts))
+			harness.PrintFig8(out, rows)
 		case "fig9":
+			rows, err := sess.Fig9()
+			if err != nil {
+				return err
+			}
 			fmt.Fprintln(out, "== Figure 9: sensitivity to intervention delay ==")
-			harness.PrintFig9(out, harness.Fig9(opts))
+			harness.PrintFig9(out, rows)
 		case "fig10":
+			rows, err := sess.Fig10()
+			if err != nil {
+				return err
+			}
 			fmt.Fprintln(out, "== Figure 10: sensitivity to network hop latency (Appbt) ==")
-			harness.PrintFig10(out, harness.Fig10(opts))
+			harness.PrintFig10(out, rows)
 		case "fig11":
+			rows, err := sess.Fig11()
+			if err != nil {
+				return err
+			}
 			fmt.Fprintln(out, "== Figure 11: sensitivity to delegate cache size (MG) ==")
-			harness.PrintSweep(out, harness.Fig11(opts))
+			harness.PrintSweep(out, rows)
 		case "fig12":
+			rows, err := sess.Fig12()
+			if err != nil {
+				return err
+			}
 			fmt.Fprintln(out, "== Figure 12: sensitivity to RAC size (Appbt) ==")
-			harness.PrintSweep(out, harness.Fig12(opts))
+			harness.PrintSweep(out, rows)
 		case "ablation":
+			rows, err := sess.Ablation()
+			if err != nil {
+				return err
+			}
 			fmt.Fprintln(out, "== Ablation: delegation-only vs delegation+updates (§3.2) ==")
-			harness.PrintAblation(out, harness.Ablation(opts))
+			harness.PrintAblation(out, rows)
 		case "extensions":
+			rows, err := sess.Extensions()
+			if err != nil {
+				return err
+			}
 			fmt.Fprintln(out, "== §5 extensions: adaptive delay, 2-writer detector, accuracy bound ==")
-			harness.PrintExtensions(out, harness.Extensions(opts))
+			harness.PrintExtensions(out, rows)
 		case "related":
+			rows, err := sess.RelatedWork()
+			if err != nil {
+				return err
+			}
 			fmt.Fprintln(out, "== Related work: dynamic self-invalidation vs delegation+updates ==")
-			harness.PrintRelated(out, harness.RelatedWork(opts))
+			harness.PrintRelated(out, rows)
 		default:
 			fmt.Fprintf(os.Stderr, "pccbench: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 		fmt.Fprintln(out)
+		return nil
 	}
 
 	if *exp == "all" {
 		for _, e := range []string{"table1", "table2", "table3", "fig7", "fig8",
 			"fig9", "fig10", "fig11", "fig12", "ablation", "extensions", "related"} {
-			run(e)
+			if err := run(e); err != nil {
+				fail(err)
+			}
 		}
 		return
 	}
-	run(*exp)
+	if err := run(*exp); err != nil {
+		fail(err)
+	}
+}
+
+// progressPrinter reports cell lifecycle events on stderr. It is called
+// from multiple simulation workers; each event prints as one atomic line.
+func progressPrinter() runner.ProgressFunc {
+	var seq atomic.Uint64
+	return func(ev runner.Event) {
+		n := seq.Add(1)
+		switch {
+		case ev.Err != nil:
+			fmt.Fprintf(os.Stderr, "[%4d] %-40s FAILED: %v\n", n, ev.Label, ev.Err)
+		case ev.Cached:
+			fmt.Fprintf(os.Stderr, "[%4d] %-40s cached\n", n, ev.Label)
+		case ev.Done:
+			fmt.Fprintf(os.Stderr, "[%4d] %-40s done: %d events in %v\n",
+				n, ev.Label, ev.Events, ev.Wall.Round(time.Millisecond))
+		default:
+			fmt.Fprintf(os.Stderr, "[%4d] %-40s start\n", n, ev.Label)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pccbench:", err)
+	os.Exit(1)
+}
+
+func joinList(items []string) string {
+	out := ""
+	for i, s := range items {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
 }

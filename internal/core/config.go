@@ -93,6 +93,13 @@ type Config struct {
 	// forced to Nodes.
 	Network network.Config
 
+	// WatchdogSteps bounds how many engine events one run may execute
+	// before it is aborted as a runaway (a protocol livelock would
+	// otherwise hang the process forever inside sim.Engine.Run). 0
+	// disables the guard. The guard never changes event order, so any
+	// run that finishes under budget is unaffected.
+	WatchdogSteps uint64
+
 	// CheckInvariants enables the runtime coherence checks of §2.5
 	// ("single writer exists" and "consistency within the directory",
 	// checked at the completion of every transaction that incurs an L2

@@ -1,12 +1,26 @@
 package core
 
 import (
+	"time"
+
 	"pccsim/internal/mem"
 	"pccsim/internal/msg"
 	"pccsim/internal/network"
 	"pccsim/internal/sim"
 	"pccsim/internal/stats"
 )
+
+// Observer receives lifecycle notifications from a System's event loop.
+// Both hooks are optional (nil funcs are skipped). Start fires when the
+// event loop begins draining; Done fires when it stops (drained, or cut
+// short by the watchdog) with the number of engine events executed by
+// this run and the host wall time it took. Observers must not mutate the
+// system; they exist so long experiment sweeps can report per-cell
+// progress.
+type Observer struct {
+	Start func(sys *System)
+	Done  func(sys *System, steps uint64, wall time.Duration)
+}
 
 // System is one simulated cc-NUMA machine: an event engine, the fat-tree
 // interconnect, distributed memory, and one hub per node.
@@ -16,6 +30,8 @@ type System struct {
 	Net  *network.Network
 	Mem  *mem.Memory
 	Hubs []*Hub
+	// Observer optionally watches the event loop; see Observer.
+	Observer Observer
 	// NodeStats holds each node's counters; Aggregate folds them.
 	NodeStats []*stats.Stats
 	// NetStats accumulates interconnect traffic (shared by all sends).
@@ -64,6 +80,23 @@ func (s *System) Access(n msg.NodeID, addr msg.Addr, write bool, done func()) {
 
 // Run drains the event queue and returns the finishing time.
 func (s *System) Run() sim.Time { return s.Eng.Run() }
+
+// RunGuarded drains the event queue under the configured watchdog budget
+// (Config.WatchdogSteps; 0 = unlimited), notifying the Observer around the
+// loop. On a runaway it returns the wrapped *sim.RunawayError with the
+// pending-event context intact.
+func (s *System) RunGuarded() (sim.Time, error) {
+	if s.Observer.Start != nil {
+		s.Observer.Start(s)
+	}
+	start := time.Now()
+	before := s.Eng.Steps()
+	t, err := s.Eng.RunGuarded(s.Cfg.WatchdogSteps)
+	if s.Observer.Done != nil {
+		s.Observer.Done(s, s.Eng.Steps()-before, time.Since(start))
+	}
+	return t, err
+}
 
 // LatestVersion exposes the data-version oracle (tests and the workload
 // validators use it to confirm consumers saw produced values).

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"pccsim/internal/workload"
 )
 
 // Exportable experiment results: every experiment's rows can be written as
@@ -65,6 +67,63 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 	return cw.Error()
 }
 
+// WriteFig8CSV renders the equal-silicon-area comparison.
+func WriteFig8CSV(w io.Writer, rows []Fig8Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "config", "cycles", "speedup"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.App, r.Config,
+			strconv.FormatUint(r.Cycles, 10), f(r.Speedup)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3CSV renders the consumer-count distribution, rows in the
+// paper's application order.
+func WriteTable3CSV(w io.Writer, dist map[string][5]float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "pct_1", "pct_2", "pct_3", "pct_4", "pct_4plus"}); err != nil {
+		return err
+	}
+	for _, wl := range workload.All() {
+		d, ok := dist[wl.Name]
+		if !ok {
+			continue
+		}
+		if err := cw.Write([]string{wl.Name,
+			f(d[0]), f(d[1]), f(d[2]), f(d[3]), f(d[4])}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAblationCSV renders the §3.2 delegation-only comparison.
+func WriteAblationCSV(w io.Writer, rows []AblationRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "base_cycles", "deleg_only_cycles",
+		"deleg_upd_cycles", "deleg_speedup", "full_speedup"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.App,
+			strconv.FormatUint(r.BaseCycles, 10),
+			strconv.FormatUint(r.DelegOnly, 10),
+			strconv.FormatUint(r.DelegUpd, 10),
+			f(r.DelegSpeedup), f(r.FullSpeedup)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteFig9CSV renders the intervention-delay sweep.
 func WriteFig9CSV(w io.Writer, rows []Fig9Row) error {
 	cw := csv.NewWriter(w)
@@ -112,20 +171,43 @@ type Report struct {
 	Extensions []ExtRow              `json:"extensions,omitempty"`
 }
 
-// RunAll executes every experiment and bundles the results.
-func RunAll(opts Options) *Report {
-	return &Report{
-		Options:    opts,
-		Fig7:       Fig7(opts),
-		Fig8:       Fig8(opts),
-		Fig9:       Fig9(opts),
-		Fig10:      Fig10(opts),
-		Fig11:      Fig11(opts),
-		Fig12:      Fig12(opts),
-		Table3:     Table3(opts),
-		Ablation:   Ablation(opts),
-		Extensions: Extensions(opts),
+// RunAll executes every experiment on one shared session — so cells that
+// recur across figures (the Base configuration, the small and large
+// mechanism configurations) simulate exactly once — and bundles the
+// results. The report is deterministic: for fixed Options it is
+// byte-identical as JSON no matter how many workers ran it.
+func RunAll(opts Options) (*Report, error) {
+	s := NewSession(opts)
+	rep := &Report{Options: opts}
+	var err error
+	if rep.Fig7, err = s.Fig7(); err != nil {
+		return nil, err
 	}
+	if rep.Fig8, err = s.Fig8(); err != nil {
+		return nil, err
+	}
+	if rep.Fig9, err = s.Fig9(); err != nil {
+		return nil, err
+	}
+	if rep.Fig10, err = s.Fig10(); err != nil {
+		return nil, err
+	}
+	if rep.Fig11, err = s.Fig11(); err != nil {
+		return nil, err
+	}
+	if rep.Fig12, err = s.Fig12(); err != nil {
+		return nil, err
+	}
+	if rep.Table3, err = s.Table3(); err != nil {
+		return nil, err
+	}
+	if rep.Ablation, err = s.Ablation(); err != nil {
+		return nil, err
+	}
+	if rep.Extensions, err = s.Extensions(); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // WriteJSON renders the report as indented JSON.

@@ -50,10 +50,32 @@ func TestWriteSweepAndFigCSVs(t *testing.T) {
 	}
 }
 
+func TestWriteNewCSVs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFig8CSV(&buf, []Fig8Row{{App: "lu", Config: "Base (64K L2)", Cycles: 10, Speedup: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTable3CSV(&buf, map[string][5]float64{"em3d": {60, 40, 0, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAblationCSV(&buf, []AblationRow{{App: "cg", BaseCycles: 9, DelegOnly: 9, DelegUpd: 8, DelegSpeedup: 1, FullSpeedup: 1.1}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"app,config,cycles,speedup", "app,pct_1", "app,base_cycles", "em3d,60.0000", "cg,9,9,8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestReportJSONRoundTrip(t *testing.T) {
 	// A tiny full run: every experiment executes and the JSON parses.
 	opts := Options{Nodes: 8, Scale: 1, Iters: 2}
-	rep := RunAll(opts)
+	rep, err := RunAll(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -68,5 +90,63 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 	if back.Options.Nodes != 8 {
 		t.Fatal("options lost")
+	}
+}
+
+// TestParallelRunAllByteIdenticalJSON is the determinism proof for the
+// concurrent scheduler: a parallel full report must serialize to exactly
+// the bytes a sequential one does. (Parallel and Progress carry json:"-"
+// precisely so scheduling knobs can never leak into the report identity.)
+func TestParallelRunAllByteIdenticalJSON(t *testing.T) {
+	opts := Options{Nodes: 8, Scale: 1, Iters: 2}
+	render := func(parallel int) []byte {
+		o := opts
+		o.Parallel = parallel
+		rep, err := RunAll(o)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	par := render(4)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parallel JSON diverged from sequential (%d vs %d bytes)", len(seq), len(par))
+	}
+}
+
+// TestRunAllMemoizesAcrossFigures pins the cross-figure dedup: a full
+// report issues far more jobs than it simulates cells, because e.g. the
+// Base configuration recurs in Figure 7, the ablation and the extensions.
+func TestRunAllMemoizesAcrossFigures(t *testing.T) {
+	opts := Options{Nodes: 8, Scale: 1, Iters: 2}
+	s := NewSession(opts)
+	jobs := 0
+	count := func(n int, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs += n
+	}
+	r7, err := s.Fig7()
+	count(len(r7), err)
+	r3, err := s.Table3()
+	count(len(r3), err)
+	ra, err := s.Ablation()
+	count(3*len(ra), err)
+	re, err := s.Extensions()
+	count(4*len(re), err)
+	if s.Cells() >= jobs {
+		t.Fatalf("no cross-figure memoization: %d cells for %d jobs", s.Cells(), jobs)
+	}
+	// Precisely: Fig7 42 cells; Table3 reuses the 1K/1M config (0 new);
+	// Ablation adds only deleg-only (7); Extensions adds adaptive + pair
+	// (14). 42 + 0 + 7 + 14 = 63 of 105 jobs.
+	if s.Cells() != 63 {
+		t.Fatalf("cells = %d for %d jobs, want 63 (did a config drift?)", s.Cells(), jobs)
 	}
 }

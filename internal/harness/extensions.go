@@ -7,6 +7,7 @@ import (
 	"text/tabwriter"
 
 	"pccsim/internal/core"
+	"pccsim/internal/runner"
 	"pccsim/internal/workload"
 )
 
@@ -39,24 +40,34 @@ type ExtRow struct {
 // Extensions runs the §5 future-work ablations on every workload: the
 // adaptive intervention delay and the two-writer detector, against the
 // paper's fixed small configuration.
-func Extensions(opts Options) []ExtRow {
+func Extensions(opts Options) ([]ExtRow, error) { return NewSession(opts).Extensions() }
+
+// Extensions runs the §5 ablations on this session.
+func (s *Session) Extensions() ([]ExtRow, error) {
+	base := core.DefaultConfig()
+	base.Nodes = s.Opts.Nodes
+	fixed := base.WithMechanisms(32*1024, 32, true)
+	adaptive := fixed
+	adaptive.AdaptiveDelay = true
+	pair := fixed
+	pair.DetectorWriters = 2
+	apps := workload.All()
+
+	var jobs []runner.Job
+	for _, wl := range apps {
+		jobs = append(jobs,
+			s.job("extensions/"+wl.Name+"/base", base, wl),
+			s.job("extensions/"+wl.Name+"/fixed", fixed, wl),
+			s.job("extensions/"+wl.Name+"/adaptive", adaptive, wl),
+			s.job("extensions/"+wl.Name+"/pair", pair, wl))
+	}
+	res, err := s.r.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []ExtRow
-	for _, wl := range workload.All() {
-		base := core.DefaultConfig()
-		base.Nodes = opts.Nodes
-		bst := MustRun(base, wl, opts.params())
-
-		fixed := base.WithMechanisms(32*1024, 32, true)
-		fst := MustRun(fixed, wl, opts.params())
-
-		adaptive := fixed
-		adaptive.AdaptiveDelay = true
-		ast := MustRun(adaptive, wl, opts.params())
-
-		pair := fixed
-		pair.DetectorWriters = 2
-		pst := MustRun(pair, wl, opts.params())
-
+	for i, wl := range apps {
+		bst, fst, ast, pst := res[i*4], res[i*4+1], res[i*4+2], res[i*4+3]
 		bound := AccuracyBound(fst.UpdateAccuracy())
 		if math.IsInf(bound, 1) {
 			bound = 999 // JSON-safe sentinel for "unbounded"
@@ -70,7 +81,7 @@ func Extensions(opts Options) []ExtRow {
 			Bound:    bound,
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // RelatedRow compares the paper's mechanisms with the related-work
@@ -92,23 +103,31 @@ type RelatedRow struct {
 }
 
 // RelatedWork runs the four-way comparison per workload.
-func RelatedWork(opts Options) []RelatedRow {
+func RelatedWork(opts Options) ([]RelatedRow, error) { return NewSession(opts).RelatedWork() }
+
+// RelatedWork runs the self-invalidation comparison on this session.
+func (s *Session) RelatedWork() ([]RelatedRow, error) {
+	base := core.DefaultConfig()
+	base.Nodes = s.Opts.Nodes
+	dsiCfg := base
+	dsiCfg.SelfInvalidate = true
+	apps := workload.All()
+
+	var jobs []runner.Job
+	for _, wl := range apps {
+		jobs = append(jobs,
+			s.job("related/"+wl.Name+"/base", base, wl),
+			s.job("related/"+wl.Name+"/self-inval", dsiCfg, wl),
+			s.job("related/"+wl.Name+"/deleg-only", base.WithMechanisms(32*1024, 32, false), wl),
+			s.job("related/"+wl.Name+"/deleg-upd", base.WithMechanisms(32*1024, 32, true), wl))
+	}
+	res, err := s.r.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []RelatedRow
-	for _, wl := range workload.All() {
-		base := core.DefaultConfig()
-		base.Nodes = opts.Nodes
-		bst := MustRun(base, wl, opts.params())
-
-		dsiCfg := base
-		dsiCfg.SelfInvalidate = true
-		dst := MustRun(dsiCfg, wl, opts.params())
-
-		dl := base.WithMechanisms(32*1024, 32, false)
-		dlst := MustRun(dl, wl, opts.params())
-
-		du := base.WithMechanisms(32*1024, 32, true)
-		dust := MustRun(du, wl, opts.params())
-
+	for i, wl := range apps {
+		bst, dst, dlst, dust := res[i*4], res[i*4+1], res[i*4+2], res[i*4+3]
 		rows = append(rows, RelatedRow{
 			App:       wl.Name,
 			SelfInval: ratio(bst.ExecCycles, dst.ExecCycles),
@@ -120,7 +139,7 @@ func RelatedWork(opts Options) []RelatedRow {
 			UpdLocal:  dust.RACMisses(),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // PrintRelated renders the related-work comparison.

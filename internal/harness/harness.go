@@ -4,6 +4,13 @@
 // Figure 9, the hop-latency sweep of Figure 10, the delegate-cache and RAC
 // size sweeps of Figures 11 and 12, the consumer-count distribution of
 // Table 3, and the delegation-only ablation discussed in §3.2.
+//
+// Every experiment is declared as a set of runner.Jobs and executed by
+// internal/runner's worker pool: independent cells simulate concurrently
+// (each on a private engine, so results stay bit-for-bit deterministic),
+// and cells that recur across figures — the Base configuration alone
+// appears in Figure 7, the ablation and the related-work comparison —
+// simulate exactly once per Session.
 package harness
 
 import (
@@ -12,6 +19,7 @@ import (
 	"pccsim/internal/core"
 	"pccsim/internal/cpu"
 	"pccsim/internal/node"
+	"pccsim/internal/runner"
 	"pccsim/internal/sim"
 	"pccsim/internal/stats"
 	"pccsim/internal/workload"
@@ -22,6 +30,16 @@ type Options struct {
 	Nodes int // processors (16 in the paper)
 	Scale int // workload problem-size multiplier
 	Iters int // workload iteration override (0 = per-workload default)
+
+	// Parallel is the scheduler's worker-pool size; 0 means GOMAXPROCS.
+	// It affects only wall time, never results, and is therefore not
+	// part of the report identity (excluded from JSON).
+	Parallel int `json:"-"`
+
+	// Progress optionally receives per-cell lifecycle events (start,
+	// finish with engine event count and wall time, cache hits). It may
+	// be called from multiple workers concurrently. Excluded from JSON.
+	Progress runner.ProgressFunc `json:"-"`
 }
 
 // DefaultOptions mirrors the paper's 16-processor system at the scaled
@@ -31,6 +49,24 @@ func DefaultOptions() Options { return Options{Nodes: 16, Scale: 1} }
 func (o Options) params() workload.Params {
 	return workload.Params{Nodes: o.Nodes, Scale: o.Scale, Iters: o.Iters}
 }
+
+// Session runs experiments through one shared scheduler, so identical
+// cells are simulated once no matter how many figures request them. Use
+// NewSession + the Session methods when regenerating several experiments
+// in one process (RunAll does this internally); the package-level
+// functions are one-shot conveniences that each build a private Session.
+type Session struct {
+	Opts Options
+	r    *runner.Runner
+}
+
+// NewSession creates a session with a worker pool sized by opts.Parallel.
+func NewSession(opts Options) *Session {
+	return &Session{Opts: opts, r: runner.New(opts.Parallel, opts.Progress)}
+}
+
+// Cells reports how many unique simulation cells this session has run.
+func (s *Session) Cells() int { return s.r.Cells() }
 
 // ConfigSpec is one machine configuration under study.
 type ConfigSpec struct {
@@ -78,13 +114,20 @@ func Run(cfg core.Config, wl *workload.Workload, p workload.Params) (*stats.Stat
 	return m.Run(streams)
 }
 
-// MustRun is Run for harness-internal static configurations.
+// MustRun is Run for callers with static known-good configurations
+// (benchmarks and tests). The experiment paths below never panic; they
+// propagate errors through the runner instead.
 func MustRun(cfg core.Config, wl *workload.Workload, p workload.Params) *stats.Stats {
 	st, err := Run(cfg, wl, p)
 	if err != nil {
 		panic(fmt.Sprintf("harness: %s on %d nodes: %v", wl.Name, cfg.Nodes, err))
 	}
 	return st
+}
+
+// job builds one runner job for this session's parameters.
+func (s *Session) job(label string, cfg core.Config, wl *workload.Workload) runner.Job {
+	return runner.Job{Label: label, Cfg: cfg, Workload: wl, Params: s.Opts.params()}
 }
 
 // Row is one (application, configuration) measurement normalized to that
@@ -108,21 +151,33 @@ type Row struct {
 }
 
 // Fig7 runs every workload across the six Figure 7 configurations.
-func Fig7(opts Options) []Row {
-	var rows []Row
+func Fig7(opts Options) ([]Row, error) { return NewSession(opts).Fig7() }
+
+// Fig7 runs the Figure 7 grid on this session's scheduler.
+func (s *Session) Fig7() ([]Row, error) {
 	base := core.DefaultConfig()
-	base.Nodes = opts.Nodes
-	for _, wl := range workload.All() {
-		var baseline *stats.Stats
-		for _, spec := range Fig7Configs() {
-			st := MustRun(spec.Apply(base), wl, opts.params())
-			if baseline == nil {
-				baseline = st
-			}
-			rows = append(rows, makeRow(wl.Name, spec.Label, st, baseline))
+	base.Nodes = s.Opts.Nodes
+	specs := Fig7Configs()
+	apps := workload.All()
+
+	var jobs []runner.Job
+	for _, wl := range apps {
+		for _, spec := range specs {
+			jobs = append(jobs, s.job("fig7/"+wl.Name+"/"+spec.Label, spec.Apply(base), wl))
 		}
 	}
-	return rows
+	res, err := s.r.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for i, wl := range apps {
+		baseline := res[i*len(specs)] // the Base spec leads each group
+		for j, spec := range specs {
+			rows = append(rows, makeRow(wl.Name, spec.Label, res[i*len(specs)+j], baseline))
+		}
+	}
+	return rows, nil
 }
 
 func makeRow(app, label string, st, baseline *stats.Stats) Row {
@@ -191,16 +246,28 @@ func pow(x, y float64) float64 {
 // Table3 measures the consumer-count distribution per application on the
 // large configuration (the detector needs delegation on to track and
 // classify producer-consumer lines).
-func Table3(opts Options) map[string][5]float64 {
+func Table3(opts Options) (map[string][5]float64, error) { return NewSession(opts).Table3() }
+
+// Table3 runs the consumer-distribution measurement on this session.
+func (s *Session) Table3() (map[string][5]float64, error) {
 	base := core.DefaultConfig()
-	base.Nodes = opts.Nodes
+	base.Nodes = s.Opts.Nodes
 	cfg := base.WithMechanisms(1024*1024, 1024, true)
-	out := make(map[string][5]float64)
-	for _, wl := range workload.All() {
-		st := MustRun(cfg, wl, opts.params())
-		out[wl.Name] = st.ConsumerDistPercent()
+	apps := workload.All()
+
+	jobs := make([]runner.Job, len(apps))
+	for i, wl := range apps {
+		jobs[i] = s.job("table3/"+wl.Name, cfg, wl)
 	}
-	return out
+	res, err := s.r.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][5]float64)
+	for i, wl := range apps {
+		out[wl.Name] = res[i].ConsumerDistPercent()
+	}
+	return out, nil
 }
 
 // Fig8Row is one bar of the equal-silicon-area comparison.
@@ -216,36 +283,46 @@ type Fig8Row struct {
 // mechanisms. The paper halves the Table 1 L2 for this experiment; we use
 // a 64 KB / 66.5 KB pair scaled to our problem sizes (the comparison needs
 // the working set to put pressure on L2 capacity).
-func Fig8(opts Options) []Fig8Row {
-	var rows []Fig8Row
+func Fig8(opts Options) ([]Fig8Row, error) { return NewSession(opts).Fig8() }
+
+// Fig8 runs the equal-silicon comparison on this session.
+func (s *Session) Fig8() ([]Fig8Row, error) {
 	mk := func() core.Config {
 		cfg := core.DefaultConfig()
-		cfg.Nodes = opts.Nodes
+		cfg.Nodes = s.Opts.Nodes
 		cfg.L2Bytes = 64 * 1024
 		return cfg
 	}
-	for _, wl := range workload.All() {
-		base := mk()
-		baseStats := MustRun(base, wl, opts.params())
-		rows = append(rows, Fig8Row{wl.Name, "Base (64K L2)", baseStats.ExecCycles, 1})
+	big := mk()
+	// Equal silicon: delegate cache (320 B) + RAC (32 KB) + dir
+	// cache detector bits (~8 KB) ~= 40 KB of SRAM (§3.3.1).
+	// Cache geometry needs power-of-two sets; bump ways instead.
+	big.L2Bytes = 104 * 1024 // 13 ways' worth at 8K per way
+	big.L2Ways = 13
 
-		smart := mk().WithMechanisms(32*1024, 32, true)
-		st := MustRun(smart, wl, opts.params())
-		rows = append(rows, Fig8Row{wl.Name, "Smarter (64K L2 + deledc + RAC)",
-			st.ExecCycles, ratio(baseStats.ExecCycles, st.ExecCycles)})
-
-		big := mk()
-		// Equal silicon: delegate cache (320 B) + RAC (32 KB) + dir
-		// cache detector bits (~8 KB) ~= 40 KB of SRAM (§3.3.1).
-		big.L2Bytes = 64*1024 + 40*1024
-		// Cache geometry needs power-of-two sets; bump ways instead.
-		big.L2Bytes = 104 * 1024 // 13 ways' worth at 8K per way
-		big.L2Ways = 13
-		st2 := MustRun(big, wl, opts.params())
-		rows = append(rows, Fig8Row{wl.Name, "Larger (104K L2)",
-			st2.ExecCycles, ratio(baseStats.ExecCycles, st2.ExecCycles)})
+	apps := workload.All()
+	var jobs []runner.Job
+	for _, wl := range apps {
+		jobs = append(jobs,
+			s.job("fig8/"+wl.Name+"/base", mk(), wl),
+			s.job("fig8/"+wl.Name+"/smarter", mk().WithMechanisms(32*1024, 32, true), wl),
+			s.job("fig8/"+wl.Name+"/larger", big, wl))
 	}
-	return rows
+	res, err := s.r.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	for i, wl := range apps {
+		baseStats, st, st2 := res[i*3], res[i*3+1], res[i*3+2]
+		rows = append(rows,
+			Fig8Row{wl.Name, "Base (64K L2)", baseStats.ExecCycles, 1},
+			Fig8Row{wl.Name, "Smarter (64K L2 + deledc + RAC)",
+				st.ExecCycles, ratio(baseStats.ExecCycles, st.ExecCycles)},
+			Fig8Row{wl.Name, "Larger (104K L2)",
+				st2.ExecCycles, ratio(baseStats.ExecCycles, st2.ExecCycles)})
+	}
+	return rows, nil
 }
 
 func ratio(base, v uint64) float64 {
@@ -278,23 +355,36 @@ func delayLabel(d sim.Time) string {
 // Fig9 sweeps the delayed-intervention interval for every workload on the
 // small configuration, reporting execution time normalized to the 5-cycle
 // point exactly as the paper plots it.
-func Fig9(opts Options) []Fig9Row {
-	var rows []Fig9Row
-	for _, wl := range workload.All() {
-		var first uint64
-		for _, d := range Fig9Delays() {
+func Fig9(opts Options) ([]Fig9Row, error) { return NewSession(opts).Fig9() }
+
+// Fig9 runs the intervention-delay sweep on this session.
+func (s *Session) Fig9() ([]Fig9Row, error) {
+	delays := Fig9Delays()
+	apps := workload.All()
+
+	var jobs []runner.Job
+	for _, wl := range apps {
+		for _, d := range delays {
 			cfg := core.DefaultConfig().WithMechanisms(32*1024, 32, true)
-			cfg.Nodes = opts.Nodes
+			cfg.Nodes = s.Opts.Nodes
 			cfg.InterventionDelay = d
-			st := MustRun(cfg, wl, opts.params())
-			if first == 0 {
-				first = st.ExecCycles
-			}
+			jobs = append(jobs, s.job("fig9/"+wl.Name+"/"+delayLabel(d), cfg, wl))
+		}
+	}
+	res, err := s.r.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig9Row
+	for i, wl := range apps {
+		first := res[i*len(delays)].ExecCycles // the 5-cycle point
+		for j, d := range delays {
+			st := res[i*len(delays)+j]
 			rows = append(rows, Fig9Row{wl.Name, delayLabel(d), st.ExecCycles,
 				float64(st.ExecCycles) / float64(first)})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // Fig10Row is one point of the hop-latency sweep (Appbt, Figure 10).
@@ -311,22 +401,35 @@ type Fig10Row struct {
 // speedups for Appbt, which its own Figure 7 only ever shows for the
 // large-RAC configurations — its 32K-RAC Appbt gains 8% — so we sweep the
 // configuration its Figure 10 numbers are actually consistent with.)
-func Fig10(opts Options) []Fig10Row {
+func Fig10(opts Options) ([]Fig10Row, error) { return NewSession(opts).Fig10() }
+
+// Fig10 runs the hop-latency sweep on this session.
+func (s *Session) Fig10() ([]Fig10Row, error) {
 	wl, _ := workload.ByName("appbt")
-	var rows []Fig10Row
-	for _, ns := range []int{25, 50, 100, 200} {
+	hops := []int{25, 50, 100, 200}
+
+	var jobs []runner.Job
+	for _, ns := range hops {
 		hop := sim.Time(ns * 2) // 2 GHz: 1 ns = 2 cycles
 		base := core.DefaultConfig()
-		base.Nodes = opts.Nodes
+		base.Nodes = s.Opts.Nodes
 		base.Network.HopLatency = hop
-		bst := MustRun(base, wl, opts.params())
-
 		mech := base.WithMechanisms(1024*1024, 32, true)
-		mst := MustRun(mech, wl, opts.params())
+		jobs = append(jobs,
+			s.job(fmt.Sprintf("fig10/%dns/base", ns), base, wl),
+			s.job(fmt.Sprintf("fig10/%dns/mech", ns), mech, wl))
+	}
+	res, err := s.r.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig10Row
+	for i, ns := range hops {
+		bst, mst := res[i*2], res[i*2+1]
 		rows = append(rows, Fig10Row{ns, bst.ExecCycles, mst.ExecCycles,
 			ratio(bst.ExecCycles, mst.ExecCycles)})
 	}
-	return rows
+	return rows, nil
 }
 
 // SweepRow is one point of the Figure 11/12 structure-size sweeps.
@@ -340,22 +443,52 @@ type SweepRow struct {
 	UpdAcc   float64
 }
 
-// Fig11 sweeps the delegate-cache size for MG (32..1K entries at 32K RAC,
-// plus the 1K/1M point), normalized to the baseline.
-func Fig11(opts Options) []SweepRow {
-	wl, _ := workload.ByName("mg")
-	base := core.DefaultConfig()
-	base.Nodes = opts.Nodes
-	bst := MustRun(base, wl, opts.params())
+// sweepPoint is one mechanism sizing in a Figure 11/12 sweep.
+type sweepPoint struct {
+	entries int
+	rac     int
+	label   string
+}
 
+// sweep runs a baseline plus a series of mechanism sizings for one
+// workload and normalizes each point to the baseline.
+func (s *Session) sweep(figure, app string, pts []sweepPoint) ([]SweepRow, error) {
+	wl, ok := workload.ByName(app)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown workload %q", app)
+	}
+	base := core.DefaultConfig()
+	base.Nodes = s.Opts.Nodes
+
+	jobs := []runner.Job{s.job(figure+"/"+app+"/base", base, wl)}
+	for _, p := range pts {
+		jobs = append(jobs, s.job(figure+"/"+app+"/"+p.label,
+			base.WithMechanisms(p.rac, p.entries, true), wl))
+	}
+	res, err := s.r.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	bst := res[0]
 	rows := []SweepRow{{Config: "Base (32K RAC)", Cycles: bst.ExecCycles,
 		Messages: bst.TotalMessages(), Speedup: 1, MsgRatio: 1}}
-	type pt struct {
-		entries int
-		rac     int
-		label   string
+	for i, p := range pts {
+		st := res[i+1]
+		rows = append(rows, SweepRow{p.label, st.ExecCycles, st.TotalMessages(),
+			ratio(bst.ExecCycles, st.ExecCycles),
+			float64(st.TotalMessages()) / float64(bst.TotalMessages()),
+			st.TotalUndelegations(), st.UpdateAccuracy()})
 	}
-	pts := []pt{
+	return rows, nil
+}
+
+// Fig11 sweeps the delegate-cache size for MG (32..1K entries at 32K RAC,
+// plus the 1K/1M point), normalized to the baseline.
+func Fig11(opts Options) ([]SweepRow, error) { return NewSession(opts).Fig11() }
+
+// Fig11 runs the delegate-cache size sweep on this session.
+func (s *Session) Fig11() ([]SweepRow, error) {
+	return s.sweep("fig11", "mg", []sweepPoint{
 		{32, 32 * 1024, "32-entry deledc & 32K RAC"},
 		{64, 32 * 1024, "64-entry deledc & 32K RAC"},
 		{128, 32 * 1024, "128-entry deledc & 32K RAC"},
@@ -363,34 +496,16 @@ func Fig11(opts Options) []SweepRow {
 		{512, 32 * 1024, "512-entry deledc & 32K RAC"},
 		{1024, 32 * 1024, "1K-entry deledc & 32K RAC"},
 		{1024, 1024 * 1024, "1K-entry deledc & 1M RAC"},
-	}
-	for _, p := range pts {
-		cfg := base.WithMechanisms(p.rac, p.entries, true)
-		st := MustRun(cfg, wl, opts.params())
-		rows = append(rows, SweepRow{p.label, st.ExecCycles, st.TotalMessages(),
-			ratio(bst.ExecCycles, st.ExecCycles),
-			float64(st.TotalMessages()) / float64(bst.TotalMessages()),
-			st.TotalUndelegations(), st.UpdateAccuracy()})
-	}
-	return rows
+	})
 }
 
 // Fig12 sweeps the RAC size for Appbt (32K..1M at 32 entries, plus the
 // 1K/1M point), normalized to the baseline.
-func Fig12(opts Options) []SweepRow {
-	wl, _ := workload.ByName("appbt")
-	base := core.DefaultConfig()
-	base.Nodes = opts.Nodes
-	bst := MustRun(base, wl, opts.params())
+func Fig12(opts Options) ([]SweepRow, error) { return NewSession(opts).Fig12() }
 
-	rows := []SweepRow{{Config: "Base (32K RAC)", Cycles: bst.ExecCycles,
-		Messages: bst.TotalMessages(), Speedup: 1, MsgRatio: 1}}
-	type pt struct {
-		entries int
-		rac     int
-		label   string
-	}
-	pts := []pt{
+// Fig12 runs the RAC size sweep on this session.
+func (s *Session) Fig12() ([]SweepRow, error) {
+	return s.sweep("fig12", "appbt", []sweepPoint{
 		{32, 32 * 1024, "32-entry deledc & 32K RAC"},
 		{32, 64 * 1024, "32-entry deledc & 64K RAC"},
 		{32, 128 * 1024, "32-entry deledc & 128K RAC"},
@@ -398,16 +513,7 @@ func Fig12(opts Options) []SweepRow {
 		{32, 512 * 1024, "32-entry deledc & 512K RAC"},
 		{32, 1024 * 1024, "32-entry deledc & 1M RAC"},
 		{1024, 1024 * 1024, "1K-entry deledc & 1M RAC"},
-	}
-	for _, p := range pts {
-		cfg := base.WithMechanisms(p.rac, p.entries, true)
-		st := MustRun(cfg, wl, opts.params())
-		rows = append(rows, SweepRow{p.label, st.ExecCycles, st.TotalMessages(),
-			ratio(bst.ExecCycles, st.ExecCycles),
-			float64(st.TotalMessages()) / float64(bst.TotalMessages()),
-			st.TotalUndelegations(), st.UpdateAccuracy()})
-	}
-	return rows
+	})
 }
 
 // AblationRow compares delegation-only against the baseline (§3.2: "the
@@ -424,22 +530,31 @@ type AblationRow struct {
 
 // Ablation runs every workload under baseline, delegation-only and
 // delegation+updates on the small configuration.
-func Ablation(opts Options) []AblationRow {
+func Ablation(opts Options) ([]AblationRow, error) { return NewSession(opts).Ablation() }
+
+// Ablation runs the §3.2 comparison on this session.
+func (s *Session) Ablation() ([]AblationRow, error) {
+	base := core.DefaultConfig()
+	base.Nodes = s.Opts.Nodes
+	apps := workload.All()
+
+	var jobs []runner.Job
+	for _, wl := range apps {
+		jobs = append(jobs,
+			s.job("ablation/"+wl.Name+"/base", base, wl),
+			s.job("ablation/"+wl.Name+"/deleg-only", base.WithMechanisms(32*1024, 32, false), wl),
+			s.job("ablation/"+wl.Name+"/deleg-upd", base.WithMechanisms(32*1024, 32, true), wl))
+	}
+	res, err := s.r.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []AblationRow
-	for _, wl := range workload.All() {
-		base := core.DefaultConfig()
-		base.Nodes = opts.Nodes
-		bst := MustRun(base, wl, opts.params())
-
-		dl := base.WithMechanisms(32*1024, 32, false)
-		dst := MustRun(dl, wl, opts.params())
-
-		du := base.WithMechanisms(32*1024, 32, true)
-		ust := MustRun(du, wl, opts.params())
-
+	for i, wl := range apps {
+		bst, dst, ust := res[i*3], res[i*3+1], res[i*3+2]
 		rows = append(rows, AblationRow{wl.Name, bst.ExecCycles, dst.ExecCycles,
 			ust.ExecCycles, ratio(bst.ExecCycles, dst.ExecCycles),
 			ratio(bst.ExecCycles, ust.ExecCycles)})
 	}
-	return rows
+	return rows, nil
 }

@@ -43,7 +43,10 @@ func TestRunOneWorkload(t *testing.T) {
 }
 
 func TestFig7RowsComplete(t *testing.T) {
-	rows := Fig7(tiny())
+	rows, err := Fig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := 7 * 6 // apps x configs
 	if len(rows) != want {
 		t.Fatalf("Fig7 produced %d rows, want %d", len(rows), want)
@@ -71,7 +74,10 @@ func TestFig7RowsComplete(t *testing.T) {
 }
 
 func TestTable3Rows(t *testing.T) {
-	dist := Table3(tiny())
+	dist, err := Table3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(dist) != 7 {
 		t.Fatalf("Table3 has %d rows", len(dist))
 	}
@@ -84,7 +90,10 @@ func TestTable3Rows(t *testing.T) {
 
 func TestFig9NormalizedToFirst(t *testing.T) {
 	opts := tiny()
-	rows := Fig9(opts)
+	rows, err := Fig9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 7*len(Fig9Delays()) {
 		t.Fatalf("Fig9 rows = %d", len(rows))
 	}
@@ -101,7 +110,10 @@ func TestFig9NormalizedToFirst(t *testing.T) {
 }
 
 func TestFig10HopScaling(t *testing.T) {
-	rows := Fig10(tiny())
+	rows, err := Fig10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 4 {
 		t.Fatalf("Fig10 rows = %d, want 4", len(rows))
 	}
@@ -120,11 +132,17 @@ func TestFig10HopScaling(t *testing.T) {
 }
 
 func TestFig11And12Sweeps(t *testing.T) {
-	r11 := Fig11(tiny())
+	r11, err := Fig11(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r11) != 8 {
 		t.Fatalf("Fig11 rows = %d, want 8", len(r11))
 	}
-	r12 := Fig12(tiny())
+	r12, err := Fig12(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r12) != 8 {
 		t.Fatalf("Fig12 rows = %d, want 8", len(r12))
 	}
@@ -137,7 +155,10 @@ func TestFig11And12Sweeps(t *testing.T) {
 }
 
 func TestAblationDelegationOnlyNearBaseline(t *testing.T) {
-	rows := Ablation(Options{Nodes: 16, Scale: 1})
+	rows, err := Ablation(Options{Nodes: 16, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 7 {
 		t.Fatalf("ablation rows = %d", len(rows))
 	}
@@ -161,7 +182,10 @@ func TestAblationDelegationOnlyNearBaseline(t *testing.T) {
 }
 
 func TestFig8EqualArea(t *testing.T) {
-	rows := Fig8(tiny())
+	rows, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 7*3 {
 		t.Fatalf("Fig8 rows = %d", len(rows))
 	}
@@ -199,7 +223,10 @@ func TestGeoMeanAndMeanRatio(t *testing.T) {
 }
 
 func TestExtensionsRows(t *testing.T) {
-	rows := Extensions(tiny())
+	rows, err := Extensions(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 7 {
 		t.Fatalf("extensions rows = %d", len(rows))
 	}
@@ -234,7 +261,10 @@ func TestAccuracyBound(t *testing.T) {
 }
 
 func TestRelatedWorkContrast(t *testing.T) {
-	rows := RelatedWork(Options{Nodes: 16, Scale: 1})
+	rows, err := RelatedWork(Options{Nodes: 16, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 7 {
 		t.Fatalf("related rows = %d", len(rows))
 	}

@@ -20,22 +20,38 @@ type Machine struct {
 	Bars *cpu.BarrierSet
 }
 
+// Option customizes a Machine at construction time.
+type Option func(*Machine)
+
+// WithObserver threads a progress observer down to the core.System event
+// loop, so a long run reports when its simulation starts and finishes,
+// how many engine events it executed, and how long it took in host time.
+func WithObserver(obs core.Observer) Option {
+	return func(m *Machine) { m.Sys.Observer = obs }
+}
+
 // New builds a machine from cfg.
-func New(cfg core.Config) (*Machine, error) {
+func New(cfg core.Config, opts ...Option) (*Machine, error) {
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{
+	m := &Machine{
 		Sys:  sys,
 		Bars: cpu.NewBarrierSet(sys.Eng, cfg.Nodes, cfg.BarrierLatency),
-	}, nil
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
 }
 
 // Run executes one stream per node to completion and returns aggregated
 // statistics; ExecCycles is the parallel-phase makespan (the time the last
 // core finishes). It returns an error if the program deadlocks (the event
-// queue drains with unfinished cores) or leaves transient protocol state.
+// queue drains with unfinished cores), livelocks (the configured watchdog
+// budget is exhausted before the queue drains) or leaves transient
+// protocol state.
 func (m *Machine) Run(streams []cpu.Stream) (*stats.Stats, error) {
 	if len(streams) != m.Sys.Cfg.Nodes {
 		return nil, fmt.Errorf("node: %d streams for %d nodes", len(streams), m.Sys.Cfg.Nodes)
@@ -45,7 +61,16 @@ func (m *Machine) Run(streams []cpu.Stream) (*stats.Stats, error) {
 		m.CPUs[i] = cpu.New(m.Sys.Eng, msg.NodeID(i), m.Sys.Hubs[i], s, m.Bars, m.Sys.Cfg.MaxStores)
 		m.CPUs[i].Start()
 	}
-	m.Sys.Run()
+	if _, err := m.Sys.RunGuarded(); err != nil {
+		unfinished := 0
+		for _, c := range m.CPUs {
+			if !c.Done() {
+				unfinished++
+			}
+		}
+		return nil, fmt.Errorf("node: %d/%d cores unfinished: %w",
+			unfinished, len(m.CPUs), err)
+	}
 
 	var makespan sim.Time
 	for i, c := range m.CPUs {

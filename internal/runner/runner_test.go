@@ -1,0 +1,260 @@
+package runner
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"pccsim/internal/core"
+	"pccsim/internal/workload"
+)
+
+func testParams() workload.Params { return workload.Params{Nodes: 8, Scale: 1, Iters: 2} }
+
+func testJob(label string, cfg core.Config) Job {
+	wl, _ := workload.ByName("em3d")
+	return Job{Label: label, Cfg: cfg, Workload: wl, Params: testParams()}
+}
+
+func baseCfg() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 8
+	return cfg
+}
+
+// mutate bumps one field (selected by path) in place: ints +1, uints +1,
+// bools flipped. It reports the field's dotted name.
+func mutate(v reflect.Value, fieldPath []int, t *testing.T) string {
+	typ := v.Type()
+	name := ""
+	for _, i := range fieldPath[:len(fieldPath)-1] {
+		name += typ.Field(i).Name + "."
+		v = v.Field(i)
+		typ = v.Type()
+	}
+	last := fieldPath[len(fieldPath)-1]
+	name += typ.Field(last).Name
+	f := v.Field(last)
+	switch f.Kind() {
+	case reflect.Int, reflect.Int64:
+		f.SetInt(f.Int() + 1)
+	case reflect.Uint, reflect.Uint64:
+		f.SetUint(f.Uint() + 1)
+	case reflect.Bool:
+		f.SetBool(!f.Bool())
+	default:
+		t.Fatalf("field %s has unsupported kind %s — teach this test (and check Fingerprint handles it)",
+			name, f.Kind())
+	}
+	return name
+}
+
+// fieldPaths enumerates every leaf field of a struct type, recursing into
+// nested structs.
+func fieldPaths(typ reflect.Type, prefix []int) [][]int {
+	var out [][]int
+	for i := 0; i < typ.NumField(); i++ {
+		path := append(append([]int{}, prefix...), i)
+		if typ.Field(i).Type.Kind() == reflect.Struct {
+			out = append(out, fieldPaths(typ.Field(i).Type, path)...)
+			continue
+		}
+		out = append(out, path)
+	}
+	return out
+}
+
+// TestFingerprintDistinguishesEveryConfigField mutates every single field
+// of core.Config — the way a ConfigSpec.Mutate hook would — and requires a
+// distinct memo key each time. A collision here would silently merge two
+// different experiment cells.
+func TestFingerprintDistinguishesEveryConfigField(t *testing.T) {
+	base := baseCfg()
+	ref := Fingerprint(base, "em3d", testParams())
+	seen := map[string]string{ref: "base"}
+	for _, path := range fieldPaths(reflect.TypeOf(base), nil) {
+		spec := struct{ Mutate func(*core.Config) string }{
+			Mutate: func(c *core.Config) string {
+				return mutate(reflect.ValueOf(c).Elem(), path, t)
+			},
+		}
+		cfg := base // ConfigSpec.Apply semantics: copy, then mutate
+		name := spec.Mutate(&cfg)
+		key := Fingerprint(cfg, "em3d", testParams())
+		if key == ref {
+			t.Errorf("mutating Config.%s did not change the fingerprint", name)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("Config.%s collides with %s", name, prev)
+		}
+		seen[key] = "Config." + name
+	}
+}
+
+// TestFingerprintDistinguishesWorkloadAndParams covers the non-config
+// parts of the cell identity.
+func TestFingerprintDistinguishesWorkloadAndParams(t *testing.T) {
+	base := baseCfg()
+	ref := Fingerprint(base, "em3d", testParams())
+	if Fingerprint(base, "ocean", testParams()) == ref {
+		t.Error("workload name not part of the key")
+	}
+	p := reflect.ValueOf(testParams())
+	for _, path := range fieldPaths(p.Type(), nil) {
+		params := testParams()
+		name := mutate(reflect.ValueOf(&params).Elem(), path, t)
+		if Fingerprint(base, "em3d", params) == ref {
+			t.Errorf("mutating Params.%s did not change the fingerprint", name)
+		}
+	}
+}
+
+// TestMemoizationHitsAndSharesStats runs the same cell twice (plus a
+// distinct one): the duplicate must not simulate again and must return the
+// same stats.
+func TestMemoizationHitsAndSharesStats(t *testing.T) {
+	var mu sync.Mutex
+	simulated, cached := 0, 0
+	r := New(2, func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !ev.Done {
+			return
+		}
+		if ev.Cached {
+			cached++
+		} else {
+			simulated++
+		}
+	})
+	mech := baseCfg().WithMechanisms(32*1024, 32, true)
+	jobs := []Job{
+		testJob("a", baseCfg()),
+		testJob("b", mech),
+		testJob("a-again", baseCfg()),
+	}
+	res, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != res[2] {
+		t.Fatal("identical cells did not share the memoized stats")
+	}
+	if !reflect.DeepEqual(*res[0], *res[2]) {
+		t.Fatal("cached stats not equal")
+	}
+	if res[0] == res[1] || res[0].ExecCycles == 0 {
+		t.Fatal("distinct cells merged, or empty run")
+	}
+	if simulated != 2 || cached != 1 {
+		t.Fatalf("simulated=%d cached=%d, want 2/1", simulated, cached)
+	}
+	if r.Cells() != 2 {
+		t.Fatalf("Cells() = %d, want 2", r.Cells())
+	}
+	// A later Run on the same Runner still hits the memo (cross-figure
+	// reuse is the whole point).
+	res2, err := r.Run([]Job{testJob("a-later", baseCfg())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2[0] != res[0] {
+		t.Fatal("memo not shared across Run calls")
+	}
+}
+
+// TestParallelMatchesSequential proves result assembly is deterministic:
+// any worker count produces identical stats in identical (submission)
+// order.
+func TestParallelMatchesSequential(t *testing.T) {
+	mkJobs := func() []Job {
+		var jobs []Job
+		for _, name := range []string{"em3d", "ocean", "lu"} {
+			wl, _ := workload.ByName(name)
+			jobs = append(jobs,
+				Job{Label: name + "/base", Cfg: baseCfg(), Workload: wl, Params: testParams()},
+				Job{Label: name + "/mech", Cfg: baseCfg().WithMechanisms(32*1024, 32, true),
+					Workload: wl, Params: testParams()})
+		}
+		return jobs
+	}
+	seq, err := New(1, nil).Run(mkJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(4, nil).Run(mkJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("length mismatch %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(*seq[i], *par[i]) {
+			t.Fatalf("job %d diverged between 1 and 4 workers", i)
+		}
+	}
+}
+
+// TestErrorPropagation: a failing cell must surface as an error naming the
+// job (never a panic), other cells must still produce results, and the
+// earliest failing job by submission order wins.
+func TestErrorPropagation(t *testing.T) {
+	bad := baseCfg()
+	bad.Nodes = 4 // workload builds 8 streams -> node.Run error
+	jobs := []Job{
+		testJob("good-one", baseCfg()),
+		testJob("bad-cell", bad),
+		testJob("good-two", baseCfg().WithMechanisms(32*1024, 32, true)),
+	}
+	res, err := New(2, nil).Run(jobs)
+	if err == nil {
+		t.Fatal("failing cell produced no error")
+	}
+	if !strings.Contains(err.Error(), "bad-cell") {
+		t.Fatalf("error does not name the job: %v", err)
+	}
+	if res[1] != nil {
+		t.Fatal("failed job has non-nil stats")
+	}
+	if res[0] == nil || res[2] == nil {
+		t.Fatal("healthy cells lost their results")
+	}
+	// The memoized error is shared by later identical jobs.
+	if _, err2 := New(2, nil).Run([]Job{testJob("x", bad)}); err2 == nil {
+		t.Fatal("second runner accepted the bad cell")
+	}
+}
+
+// TestProgressEvents checks the observer protocol: one start + one done
+// per simulated cell, threaded through node.New into the core event loop
+// (so Events and Wall are real measurements).
+func TestProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	r := New(1, func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	if _, err := r.Run([]Job{testJob("cell", baseCfg())}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events, want start+done", len(events))
+	}
+	if events[0].Done || events[0].Label != "cell" || events[0].Fingerprint == "" {
+		t.Fatalf("bad start event %+v", events[0])
+	}
+	done := events[1]
+	if !done.Done || done.Cached || done.Err != nil {
+		t.Fatalf("bad done event %+v", done)
+	}
+	if done.Events == 0 {
+		t.Fatal("done event reports zero engine events")
+	}
+	if done.Wall <= 0 {
+		t.Fatal("done event reports no wall time")
+	}
+}

@@ -5,7 +5,10 @@
 // which plays the role UVSIM's execution-driven core plays in the paper.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+)
 
 // Time is the simulation clock, measured in processor cycles (2 GHz in the
 // default configuration, so one cycle is 0.5 ns).
@@ -116,6 +119,47 @@ func (e *Engine) Run() Time {
 	for e.Step() {
 	}
 	return e.now
+}
+
+// RunawayError reports that a guarded run exhausted its step budget before
+// the event queue drained — the signature of a protocol livelock (e.g. an
+// endless NACK/retry cycle). It retains enough queue context to diagnose
+// what the simulation was doing when the watchdog fired.
+type RunawayError struct {
+	Steps   uint64 // events executed by the guarded run before aborting
+	Now     Time   // simulation clock at the abort
+	Pending int    // events still queued
+	NextAt  Time   // timestamp of the next pending event
+}
+
+func (e *RunawayError) Error() string {
+	return fmt.Sprintf("sim: watchdog: %d events executed without draining (now cycle %d, %d events pending, next at cycle %d)",
+		e.Steps, uint64(e.Now), e.Pending, uint64(e.NextAt))
+}
+
+// RunGuarded executes events until the queue drains, like Run, but aborts
+// with a *RunawayError after maxSteps events (counted from this call) if
+// the queue still holds work. maxSteps == 0 means unlimited and never
+// fails. The guard does not perturb event order, so a run that finishes
+// under budget is bit-for-bit identical to an unguarded one.
+func (e *Engine) RunGuarded(maxSteps uint64) (Time, error) {
+	if maxSteps == 0 {
+		return e.Run(), nil
+	}
+	for executed := uint64(0); ; executed++ {
+		if len(e.queue) == 0 {
+			return e.now, nil
+		}
+		if executed >= maxSteps {
+			return e.now, &RunawayError{
+				Steps:   executed,
+				Now:     e.now,
+				Pending: len(e.queue),
+				NextAt:  e.queue[0].at,
+			}
+		}
+		e.Step()
+	}
 }
 
 // RunUntil executes events with timestamps <= deadline. It reports whether

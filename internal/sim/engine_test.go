@@ -183,6 +183,96 @@ func TestPropertyNestedScheduling(t *testing.T) {
 	}
 }
 
+func TestRunGuardedDrains(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() { count++ })
+	}
+	at, err := e.RunGuarded(100)
+	if err != nil {
+		t.Fatalf("run under budget failed: %v", err)
+	}
+	if count != 10 || at != 9 {
+		t.Fatalf("count=%d at=%d, want 10 at 9", count, at)
+	}
+}
+
+func TestRunGuardedUnlimited(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var chain func()
+	chain = func() {
+		depth++
+		if depth < 5000 {
+			e.After(1, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	if _, err := e.RunGuarded(0); err != nil {
+		t.Fatalf("maxSteps=0 must never fail: %v", err)
+	}
+	if depth != 5000 {
+		t.Fatalf("depth = %d, want 5000", depth)
+	}
+}
+
+func TestRunGuardedAbortsRunaway(t *testing.T) {
+	e := NewEngine()
+	// A livelock: the event reschedules itself forever.
+	var spin func()
+	spin = func() { e.After(3, spin) }
+	e.Schedule(0, spin)
+	_, err := e.RunGuarded(1000)
+	if err == nil {
+		t.Fatal("runaway loop not aborted")
+	}
+	re, ok := err.(*RunawayError)
+	if !ok {
+		t.Fatalf("error type %T, want *RunawayError", err)
+	}
+	if re.Steps != 1000 {
+		t.Fatalf("Steps = %d, want 1000", re.Steps)
+	}
+	if re.Pending != 1 {
+		t.Fatalf("Pending = %d, want 1 (the self-rescheduling event)", re.Pending)
+	}
+	if re.NextAt < re.Now {
+		t.Fatalf("NextAt %d before Now %d", re.NextAt, re.Now)
+	}
+	if re.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestRunGuardedMatchesRun(t *testing.T) {
+	// The guard must not perturb event order or timing.
+	build := func() (*Engine, *[]Time) {
+		e := NewEngine()
+		var ran []Time
+		for _, tm := range []Time{9, 3, 3, 7, 1} {
+			tm := tm
+			e.Schedule(tm, func() { ran = append(ran, tm) })
+		}
+		return e, &ran
+	}
+	e1, r1 := build()
+	e2, r2 := build()
+	t1 := e1.Run()
+	t2, err := e2.RunGuarded(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 || len(*r1) != len(*r2) {
+		t.Fatalf("guarded run diverged: %d/%v vs %d/%v", t1, *r1, t2, *r2)
+	}
+	for i := range *r1 {
+		if (*r1)[i] != (*r2)[i] {
+			t.Fatalf("event order diverged at %d", i)
+		}
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()
