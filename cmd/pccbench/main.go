@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 	"time"
 
@@ -36,7 +38,34 @@ func main() {
 	parallel := flag.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report per-cell start/finish on stderr")
 	format := flag.String("format", "table", "output format: table|csv|json (csv supports "+joinList(csvExperiments)+"; json runs everything)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush accumulated allocation stats
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	opts := harness.Options{Nodes: *nodes, Scale: *scale, Iters: *iters, Parallel: *parallel}
 	if *progress {

@@ -1,0 +1,154 @@
+// Command pccperf records the simulator's performance envelope into a
+// small JSON file (BENCH_pr2.json by default): raw event-engine throughput
+// on the protocol's latency mix, and the wall time and event count of the
+// full pccbench experiment suite. The file is the PR-over-PR performance
+// record the Makefile's bench target refreshes.
+//
+//	pccperf                       # writes BENCH_pr2.json
+//	pccperf -o - -quick           # print to stdout, small suite run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"pccsim/internal/harness"
+	"pccsim/internal/msg"
+	"pccsim/internal/runner"
+	"pccsim/internal/sim"
+)
+
+// report is the schema of BENCH_pr2.json.
+type report struct {
+	// Engine is the single-cell event-engine microbenchmark: a pure
+	// schedule/step churn over the protocol's characteristic delays.
+	Engine struct {
+		Events       uint64  `json:"events"`
+		WallSeconds  float64 `json:"wall_seconds"`
+		EventsPerSec float64 `json:"events_per_sec"`
+		NsPerEvent   float64 `json:"ns_per_event"`
+	} `json:"engine"`
+	// Suite is the full pccbench -exp all run (all experiment cells).
+	Suite struct {
+		Cells        int     `json:"cells"`
+		Events       uint64  `json:"events"`
+		WallSeconds  float64 `json:"wall_seconds"`
+		EventsPerSec float64 `json:"events_per_sec"`
+		Parallel     int     `json:"parallel"`
+		Scale        int     `json:"scale"`
+	} `json:"suite"`
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+	Timestamp string `json:"timestamp"`
+}
+
+// churnMix mirrors the protocol's characteristic event delays (crossbar,
+// hop, directory, DRAM) — the same mix BenchmarkEngineChurn in
+// internal/sim uses, so the two numbers are comparable.
+var churnMix = [8]sim.Time{20, 100, 50, 200, 100, 20, 100, 10}
+
+// churner is a self-rescheduling MsgHandler: each handled event schedules
+// its successor, exercising the typed, pooled hot path end to end.
+type churner struct {
+	eng  *sim.Engine
+	n    uint64
+	quit uint64
+}
+
+func (c *churner) HandleMsgEvent(op uint8, m *msg.Message) {
+	c.n++
+	if c.n >= c.quit {
+		c.eng.FreeMsg(m)
+		return
+	}
+	c.eng.AfterMsg(churnMix[c.n&7], c, op, m)
+}
+
+// benchEngine measures raw engine throughput over total events with k
+// independent event chains in flight.
+func benchEngine(total uint64, k int) (uint64, time.Duration) {
+	eng := sim.NewEngine()
+	c := &churner{eng: eng, quit: total}
+	for i := 0; i < k; i++ {
+		m := eng.NewMsg()
+		m.Addr = msg.Addr(i) * 128
+		eng.AfterMsg(churnMix[i&7], c, 0, m)
+	}
+	start := time.Now()
+	for eng.Pending() > 0 {
+		eng.Step()
+	}
+	return c.n, time.Since(start)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pr2.json", "output file (- for stdout)")
+	events := flag.Uint64("events", 20_000_000, "engine microbenchmark event count")
+	chains := flag.Int("chains", 64, "concurrent event chains in the engine microbenchmark")
+	parallel := flag.Int("parallel", 0, "suite worker-pool size (0 = GOMAXPROCS)")
+	scale := flag.Int("scale", 1, "suite workload problem-size multiplier")
+	quick := flag.Bool("quick", false, "skip the full suite; engine microbenchmark only")
+	flag.Parse()
+
+	var rep report
+	rep.GoVersion = runtime.Version()
+	rep.CPUs = runtime.NumCPU()
+	rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
+
+	n, wall := benchEngine(*events, *chains)
+	rep.Engine.Events = n
+	rep.Engine.WallSeconds = wall.Seconds()
+	rep.Engine.EventsPerSec = float64(n) / wall.Seconds()
+	rep.Engine.NsPerEvent = float64(wall.Nanoseconds()) / float64(n)
+	fmt.Fprintf(os.Stderr, "pccperf: engine %d events in %v (%.1f Mev/s)\n",
+		n, wall.Round(time.Millisecond), rep.Engine.EventsPerSec/1e6)
+
+	if !*quick {
+		var cells atomic.Int64
+		var suiteEvents atomic.Uint64
+		opts := harness.Options{
+			Nodes: 16, Scale: *scale, Parallel: *parallel,
+			Progress: func(ev runner.Event) {
+				if ev.Done && ev.Err == nil && !ev.Cached {
+					cells.Add(1)
+					suiteEvents.Add(ev.Events)
+				}
+			},
+		}
+		start := time.Now()
+		if _, err := harness.RunAll(opts); err != nil {
+			fmt.Fprintln(os.Stderr, "pccperf:", err)
+			os.Exit(1)
+		}
+		suiteWall := time.Since(start)
+		rep.Suite.Cells = int(cells.Load())
+		rep.Suite.Events = suiteEvents.Load()
+		rep.Suite.WallSeconds = suiteWall.Seconds()
+		rep.Suite.EventsPerSec = float64(rep.Suite.Events) / suiteWall.Seconds()
+		rep.Suite.Parallel = *parallel
+		rep.Suite.Scale = *scale
+		fmt.Fprintf(os.Stderr, "pccperf: suite %d cells, %d events in %v (%.1f Mev/s)\n",
+			rep.Suite.Cells, rep.Suite.Events, suiteWall.Round(time.Millisecond),
+			rep.Suite.EventsPerSec/1e6)
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pccperf:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pccperf:", err)
+		os.Exit(1)
+	}
+}

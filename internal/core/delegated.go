@@ -89,7 +89,7 @@ func (h *Hub) localDelegated(m *mshr, reqType msg.Type) {
 // delegated home (directly via a consumer-table hint, or forwarded by the
 // original home while the line is in DELE).
 func (h *Hub) delegatedRequest(req *msg.Message, pe *delegate.ProducerEntry) {
-	if h.mshrs[req.Addr] != nil {
+	if h.mshr(req.Addr) != nil {
 		// The producer's own write is mid-flight: NACK and retry.
 		h.nack(req, false)
 		return
@@ -120,7 +120,7 @@ func (h *Hub) delegatedRead(req *msg.Message, pe *delegate.ProducerEntry) {
 	case e.State == directory.Shared:
 		e.Sharers = e.Sharers.Set(req.Requester)
 		v := h.producerVersion(req.Addr, e, true)
-		h.sendAfter(h.cfg.DirLatency, &msg.Message{
+		h.emitAfter(h.cfg.DirLatency, msg.Message{
 			Type: msg.SharedResponse, Src: h.id, Dst: req.Requester, Addr: req.Addr,
 			Requester: req.Requester, Version: v, Txn: req.Txn,
 		})
@@ -135,7 +135,7 @@ func (h *Hub) delegatedRead(req *msg.Message, pe *delegate.ProducerEntry) {
 		v := h.downgradeLocal(req.Addr, e)
 		e.State = directory.Shared
 		e.Sharers = msg.Vector(0).Set(h.id).Set(req.Requester)
-		h.sendAfter(h.cfg.DirLatency, &msg.Message{
+		h.emitAfter(h.cfg.DirLatency, msg.Message{
 			Type: msg.SharedResponse, Src: h.id, Dst: req.Requester, Addr: req.Addr,
 			Requester: req.Requester, Version: v, Txn: req.Txn,
 		})
@@ -191,7 +191,7 @@ func (h *Hub) armIntervention(pe *delegate.ProducerEntry) {
 // producer-consumer pattern on our write and handed us the directory entry
 // (§2.3.1). The message doubles as the exclusive reply for the write.
 func (h *Hub) installDelegation(m *msg.Message) {
-	ms := h.mshrs[m.Addr]
+	ms := h.mshr(m.Addr)
 	if ms == nil || !ms.wantExcl || ms.txn != m.Txn {
 		panic(fmt.Sprintf("core: node %d got unsolicited Delegate for %#x", h.id, uint64(m.Addr)))
 	}
@@ -201,7 +201,7 @@ func (h *Hub) installDelegation(m *msg.Message) {
 		// Make room by undelegating the oldest drained entry
 		// (undelegation reason 1).
 		victim := h.prod.Oldest(func(pe *delegate.ProducerEntry) bool {
-			return pe.Dir.UpdatesInFlight == 0 && h.mshrs[pe.Addr] == nil
+			return pe.Dir.UpdatesInFlight == 0 && h.mshr(pe.Addr) == nil
 		})
 		if victim == nil {
 			canHost = false
@@ -295,7 +295,8 @@ func (h *Hub) undelegate(pe *delegate.ProducerEntry, reason stats.UndelegateReas
 	h.prod.Remove(pe.Addr)
 	h.st.RecordUndelegation(reason)
 
-	um := &msg.Message{
+	um := h.newMsg()
+	*um = msg.Message{
 		Type: msg.Undelegate, Src: h.id, Dst: h.home(pe.Addr), Addr: pe.Addr,
 		Requester: msg.None, Version: v, Dirty: true, Sharers: holders,
 	}
@@ -320,7 +321,7 @@ func (h *Hub) undelegateNoEntry(addr msg.Addr, version uint64) {
 		holders = holders.Set(h.id)
 	}
 	h.st.RecordUndelegation(stats.UndelCapacity)
-	h.sendAfter(h.cfg.DirLatency, &msg.Message{
+	h.emitAfter(h.cfg.DirLatency, msg.Message{
 		Type: msg.Undelegate, Src: h.id, Dst: h.home(addr), Addr: addr,
 		Requester: msg.None, Version: version, Dirty: true, Sharers: holders,
 	})

@@ -8,19 +8,30 @@ import (
 )
 
 // dispatch is the hub's message handler: every packet delivered to this
-// node (and every hub-internal self-send) lands here.
+// node (and every hub-internal self-send) lands here. Messages are pooled:
+// once the protocol handlers are done with one it returns to the engine's
+// free list, unless a handler retained it (a deferred intervention or
+// transfer parked in an MSHR until our own fill completes).
 func (h *Hub) dispatch(m *msg.Message) {
+	if h.handle(m) {
+		h.eng.FreeMsg(m)
+	}
+}
+
+// handle runs the protocol action for m and reports whether the message is
+// finished (true: return it to the pool).
+func (h *Hub) handle(m *msg.Message) bool {
 	switch m.Type {
 	case msg.GetShared, msg.GetExcl, msg.Upgrade:
 		h.request(m)
 	case msg.Intervention:
-		h.ownerIntervention(m)
+		return !h.ownerIntervention(m)
 	case msg.TransferReq:
-		h.ownerTransfer(m)
+		return !h.ownerTransfer(m)
 	case msg.Invalidate:
 		h.ownerInvalidate(m)
 	case msg.InvAck:
-		if ms := h.mshrs[m.Addr]; ms != nil && ms.txn == m.Txn {
+		if ms := h.mshr(m.Addr); ms != nil && ms.txn == m.Txn {
 			ms.acksGot++
 			h.tryComplete(ms)
 		}
@@ -43,14 +54,14 @@ func (h *Hub) dispatch(m *msg.Message) {
 	case msg.WBAck:
 		// Writebacks are fire-and-forget in this model.
 	case msg.Nack:
-		if ms := h.mshrs[m.Addr]; ms != nil && ms.txn == m.Txn {
+		if ms := h.mshr(m.Addr); ms != nil && ms.txn == m.Txn {
 			h.retry(ms)
 		}
 	case msg.NackNotHome:
 		if h.cons != nil {
 			h.cons.Remove(m.Addr)
 		}
-		if ms := h.mshrs[m.Addr]; ms != nil && ms.txn == m.Txn {
+		if ms := h.mshr(m.Addr); ms != nil && ms.txn == m.Txn {
 			h.retry(ms)
 		}
 	case msg.Delegate:
@@ -68,6 +79,7 @@ func (h *Hub) dispatch(m *msg.Message) {
 	default:
 		panic(fmt.Sprintf("core: node %d cannot dispatch %s", h.id, m))
 	}
+	return true
 }
 
 // request routes an incoming coherence request: delegated lines are served
@@ -93,13 +105,14 @@ func (h *Hub) request(m *msg.Message) {
 
 // ownerIntervention downgrades our exclusive copy for a 3-hop read: data
 // goes to the requester and, as a shared writeback, to the home (Figure 1).
-func (h *Hub) ownerIntervention(m *msg.Message) {
-	if ms := h.mshrs[m.Addr]; ms != nil && ms.wantExcl && ms.txn == m.GrantTxn {
+// It reports whether the message was retained (parked in an MSHR).
+func (h *Hub) ownerIntervention(m *msg.Message) bool {
+	if ms := h.mshr(m.Addr); ms != nil && ms.wantExcl && ms.txn == m.GrantTxn {
 		// The intervention refers to the very ownership our in-flight
 		// fill establishes (the home serialized us first): service it
 		// right after the fill lands.
 		ms.deferred = m
-		return
+		return true
 	}
 	var v uint64
 	have := false
@@ -121,23 +134,25 @@ func (h *Hub) ownerIntervention(m *msg.Message) {
 		// The intervention refers to an ownership epoch already ended
 		// by our crossing writeback; the home completes the pending
 		// request from the written-back data.
-		return
+		return false
 	}
-	h.send(&msg.Message{
+	h.emit(msg.Message{
 		Type: msg.SharedResponse, Src: h.id, Dst: m.Requester, Addr: m.Addr,
 		Requester: m.Requester, Version: v, Txn: m.Txn,
 	})
-	h.send(&msg.Message{
+	h.emit(msg.Message{
 		Type: msg.SharedWriteback, Src: h.id, Dst: m.Src, Addr: m.Addr,
 		Requester: m.Requester, Version: v,
 	})
+	return false
 }
 
-// ownerTransfer hands our exclusive copy to a new owner (3-hop write).
-func (h *Hub) ownerTransfer(m *msg.Message) {
-	if ms := h.mshrs[m.Addr]; ms != nil && ms.wantExcl && ms.txn == m.GrantTxn {
+// ownerTransfer hands our exclusive copy to a new owner (3-hop write); it
+// reports whether the message was retained (parked in an MSHR).
+func (h *Hub) ownerTransfer(m *msg.Message) bool {
+	if ms := h.mshr(m.Addr); ms != nil && ms.wantExcl && ms.txn == m.GrantTxn {
 		ms.deferred = m
-		return
+		return true
 	}
 	var v uint64
 	have := false
@@ -155,16 +170,17 @@ func (h *Hub) ownerTransfer(m *msg.Message) {
 		}
 	}
 	if !have {
-		return // stale epoch: a writeback resolved it; home completes from that
+		return false // stale epoch: a writeback resolved it; home completes from that
 	}
-	h.send(&msg.Message{
+	h.emit(msg.Message{
 		Type: msg.ExclResponse, Src: h.id, Dst: m.Requester, Addr: m.Addr,
 		Requester: m.Requester, Version: v, Txn: m.Txn,
 	})
-	h.send(&msg.Message{
+	h.emit(msg.Message{
 		Type: msg.TransferAck, Src: h.id, Dst: m.Src, Addr: m.Addr,
 		Requester: m.Requester, Txn: m.Txn,
 	})
+	return false
 }
 
 // ownerInvalidate drops our shared copy and acknowledges directly to the
@@ -185,12 +201,12 @@ func (h *Hub) ownerInvalidate(m *msg.Message) {
 			}
 		}
 	}
-	if ms := h.mshrs[m.Addr]; ms != nil && !ms.wantExcl {
+	if ms := h.mshr(m.Addr); ms != nil && !ms.wantExcl {
 		// The data reply racing this invalidation may still be used
 		// once but must not be cached (see mshr.invalidated).
 		ms.invalidated = true
 	}
-	h.send(&msg.Message{
+	h.emit(msg.Message{
 		Type: msg.InvAck, Src: h.id, Dst: m.Requester, Addr: m.Addr,
 		Requester: m.Requester, Txn: m.Txn,
 	})
@@ -200,7 +216,7 @@ func (h *Hub) ownerInvalidate(m *msg.Message) {
 // somewhere other than where the request was sent means the (delegated)
 // home forwarded it to a third-party owner: one extra network leg.
 func (h *Hub) replyData(m *msg.Message, st cache.State, acks int) {
-	ms := h.mshrs[m.Addr]
+	ms := h.mshr(m.Addr)
 	if ms == nil || ms.txn != m.Txn {
 		return // satisfied earlier (e.g. by a speculative update)
 	}
@@ -222,7 +238,7 @@ func (h *Hub) replyData(m *msg.Message, st cache.State, acks int) {
 
 // upgradeAck grants ownership over the Shared copy we already hold.
 func (h *Hub) upgradeAck(m *msg.Message) {
-	ms := h.mshrs[m.Addr]
+	ms := h.mshr(m.Addr)
 	if ms == nil || ms.txn != m.Txn {
 		return
 	}
@@ -262,7 +278,7 @@ func (h *Hub) consumerUpdate(m *msg.Message) {
 	// writes to the line ordered behind outstanding pushes.
 	defer h.sys.Hubs[m.Src].updateDelivered(m)
 
-	if ms := h.mshrs[m.Addr]; ms != nil && !ms.wantExcl {
+	if ms := h.mshr(m.Addr); ms != nil && !ms.wantExcl {
 		h.st.UpdatesUseful++
 		ms.dataReady = true
 		ms.version = m.Version

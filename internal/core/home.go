@@ -48,12 +48,12 @@ func (h *Hub) forwardToDelegated(req *msg.Message, e *directory.Entry) {
 		h.nack(req, false)
 		return
 	}
-	h.sendAfter(h.cfg.DirLatency, &msg.Message{
+	h.emitAfter(h.cfg.DirLatency, msg.Message{
 		Type: req.Type, Src: h.id, Dst: e.Owner, Addr: req.Addr, Requester: req.Requester,
 		Txn: req.Txn,
 	})
 	if req.Requester != h.id {
-		h.sendAfter(h.cfg.DirLatency, &msg.Message{
+		h.emitAfter(h.cfg.DirLatency, msg.Message{
 			Type: msg.NewHomeHint, Src: h.id, Dst: req.Requester, Addr: req.Addr,
 			Requester: req.Requester, Owner: e.Owner,
 		})
@@ -67,14 +67,14 @@ func (h *Hub) homeRead(req *msg.Message, e *directory.Entry, det *predictor.Dete
 		det.OnRead(req.Requester)
 		e.State = directory.Shared
 		e.Sharers = msg.Vector(0).Set(req.Requester)
-		h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+		h.emitAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, msg.Message{
 			Type: msg.SharedReply, Src: h.id, Dst: req.Requester, Addr: req.Addr,
 			Requester: req.Requester, Version: e.MemVersion, Txn: req.Txn,
 		})
 	case directory.Shared:
 		det.OnRead(req.Requester)
 		e.Sharers = e.Sharers.Set(req.Requester)
-		h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+		h.emitAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, msg.Message{
 			Type: msg.SharedReply, Src: h.id, Dst: req.Requester, Addr: req.Addr,
 			Requester: req.Requester, Version: e.MemVersion, Txn: req.Txn,
 		})
@@ -90,7 +90,7 @@ func (h *Hub) homeRead(req *msg.Message, e *directory.Entry, det *predictor.Dete
 		e.PendingExcl = false
 		e.PendingTxn = req.Txn
 		h.st.Interventions++
-		h.sendAfter(h.cfg.DirLatency, &msg.Message{
+		h.emitAfter(h.cfg.DirLatency, msg.Message{
 			Type: msg.Intervention, Src: h.id, Dst: e.Owner, Addr: req.Addr,
 			Requester: req.Requester, Txn: req.Txn, GrantTxn: e.OwnerTxn,
 		})
@@ -116,7 +116,7 @@ func (h *Hub) homeWrite(req *msg.Message, e *directory.Entry, det *predictor.Det
 		e.OwnerID = req.Requester
 		e.OwnerTxn = req.Txn
 		e.Sharers = 0
-		h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+		h.emitAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, msg.Message{
 			Type: msg.ExclReply, Src: h.id, Dst: req.Requester, Addr: req.Addr,
 			Requester: req.Requester, Version: e.MemVersion, AckCount: 0, Txn: req.Txn,
 		})
@@ -148,7 +148,7 @@ func (h *Hub) homeWrite(req *msg.Message, e *directory.Entry, det *predictor.Det
 			e.State = directory.Dele
 			e.Owner = req.Requester
 			h.invalidateSharers(req.Addr, sharers, req.Requester, req.Txn)
-			h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+			h.emitAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, msg.Message{
 				Type: msg.Delegate, Src: h.id, Dst: req.Requester, Addr: req.Addr,
 				Requester: req.Requester, Version: e.MemVersion,
 				AckCount: sharers.Count(), Sharers: sharers, Txn: req.Txn,
@@ -167,7 +167,8 @@ func (h *Hub) homeWrite(req *msg.Message, e *directory.Entry, det *predictor.Det
 		e.Sharers = sharers
 		e.UpdateSet = sharers
 		h.invalidateSharers(req.Addr, sharers, req.Requester, req.Txn)
-		reply := &msg.Message{
+		reply := h.newMsg()
+		*reply = msg.Message{
 			Src: h.id, Dst: req.Requester, Addr: req.Addr,
 			Requester: req.Requester, AckCount: sharers.Count(), Txn: req.Txn,
 			PCHint: h.cfg.SelfInvalidate && det.IsProducerConsumer() && req.Requester != h.id,
@@ -195,7 +196,7 @@ func (h *Hub) homeWrite(req *msg.Message, e *directory.Entry, det *predictor.Det
 		e.Pending = req.Requester
 		e.PendingExcl = true
 		e.PendingTxn = req.Txn
-		h.sendAfter(h.cfg.DirLatency, &msg.Message{
+		h.emitAfter(h.cfg.DirLatency, msg.Message{
 			Type: msg.TransferReq, Src: h.id, Dst: e.Owner, Addr: req.Addr,
 			Requester: req.Requester, Txn: req.Txn, GrantTxn: e.OwnerTxn,
 		})
@@ -208,10 +209,10 @@ func (h *Hub) homeWrite(req *msg.Message, e *directory.Entry, det *predictor.Det
 // invalidateSharers sends invalidations on behalf of requester; the acks
 // flow directly to the requester.
 func (h *Hub) invalidateSharers(addr msg.Addr, sharers msg.Vector, requester msg.NodeID, txn uint64) {
-	for _, s := range sharers.Nodes() {
+	for vec := sharers; vec != 0; vec &= vec - 1 {
 		h.st.Invalidations++
-		h.sendAfter(h.cfg.DirLatency, &msg.Message{
-			Type: msg.Invalidate, Src: h.id, Dst: s, Addr: addr,
+		h.emitAfter(h.cfg.DirLatency, msg.Message{
+			Type: msg.Invalidate, Src: h.id, Dst: vec.Lowest(), Addr: addr,
 			Requester: requester, Txn: txn,
 		})
 	}
@@ -254,7 +255,8 @@ func (h *Hub) homeTransferAck(m *msg.Message) {
 // pending request itself from the written-back data.
 func (h *Hub) homeWriteback(m *msg.Message) {
 	e := h.dir.Entry(m.Addr)
-	ack := &msg.Message{Type: msg.WBAck, Src: h.id, Dst: m.Src, Addr: m.Addr, Requester: m.Src}
+	ack := h.newMsg()
+	*ack = msg.Message{Type: msg.WBAck, Src: h.id, Dst: m.Src, Addr: m.Addr, Requester: m.Src}
 	switch {
 	case e.State == directory.Excl && e.Owner == m.Src:
 		if m.Dirty {
@@ -272,7 +274,7 @@ func (h *Hub) homeWriteback(m *msg.Message) {
 		e.Sharers = msg.Vector(0).Set(e.Pending)
 		pending := e.Pending
 		e.Pending = msg.None
-		h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+		h.emitAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, msg.Message{
 			Type: msg.SharedReply, Src: h.id, Dst: pending, Addr: m.Addr,
 			Requester: pending, Version: e.MemVersion, Txn: e.PendingTxn,
 		})
@@ -289,7 +291,7 @@ func (h *Hub) homeWriteback(m *msg.Message) {
 		e.Sharers = 0
 		pending := e.Pending
 		e.Pending = msg.None
-		h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+		h.emitAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, msg.Message{
 			Type: msg.ExclReply, Src: h.id, Dst: pending, Addr: m.Addr,
 			Requester: pending, Version: e.MemVersion, AckCount: 0, Txn: e.PendingTxn,
 		})
@@ -335,7 +337,7 @@ func (h *Hub) homeEagerWriteback(m *msg.Message) {
 		e.Sharers = msg.Vector(0).Set(m.Src).Set(e.Pending)
 		pending := e.Pending
 		e.Pending = msg.None
-		h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+		h.emitAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, msg.Message{
 			Type: msg.SharedReply, Src: h.id, Dst: pending, Addr: m.Addr,
 			Requester: pending, Version: e.MemVersion, Txn: e.PendingTxn,
 		})
@@ -351,12 +353,12 @@ func (h *Hub) homeEagerWriteback(m *msg.Message) {
 		e.OwnerTxn = e.PendingTxn
 		e.Sharers = 0
 		e.Pending = msg.None
-		h.sendAfter(h.cfg.DirLatency, &msg.Message{
+		h.emitAfter(h.cfg.DirLatency, msg.Message{
 			Type: msg.Invalidate, Src: h.id, Dst: m.Src, Addr: m.Addr,
 			Requester: pending, Txn: e.PendingTxn,
 		})
 		h.st.Invalidations++
-		h.sendAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, &msg.Message{
+		h.emitAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, msg.Message{
 			Type: msg.ExclReply, Src: h.id, Dst: pending, Addr: m.Addr,
 			Requester: pending, Version: e.MemVersion, AckCount: 1, Txn: e.PendingTxn,
 		})
@@ -393,13 +395,14 @@ func (h *Hub) homeUndelegate(m *msg.Message) {
 	} else {
 		e.State = directory.Shared
 	}
-	h.sendAfter(h.cfg.DirLatency, &msg.Message{
+	h.emitAfter(h.cfg.DirLatency, msg.Message{
 		Type: msg.UndelegateAck, Src: h.id, Dst: m.Src, Addr: m.Addr, Requester: m.Src,
 	})
 	if m.Requester != msg.None && m.Fwd != 0 {
-		fwd := &msg.Message{Type: m.Fwd, Src: h.id, Dst: h.id, Addr: m.Addr,
+		fwd := h.newMsg()
+		*fwd = msg.Message{Type: m.Fwd, Src: h.id, Dst: h.id, Addr: m.Addr,
 			Requester: m.Requester, Txn: m.Txn}
-		h.eng.After(h.cfg.DirLatency, func() { h.homeRequest(fwd) })
+		h.eng.AfterMsg(h.cfg.DirLatency, h, opHomeReq, fwd)
 	}
 }
 
@@ -540,10 +543,11 @@ func (h *Hub) adaptDelayUpIfRewrite(e *directory.Entry) {
 
 // pushUpdates sends speculative updates to the target set.
 func (h *Hub) pushUpdates(addr msg.Addr, e *directory.Entry, targets msg.Vector, v uint64) {
-	for _, c := range targets.Nodes() {
+	for vec := targets; vec != 0; vec &= vec - 1 {
+		c := vec.Lowest()
 		h.st.UpdatesSent++
 		e.UpdatesInFlight++
-		h.send(&msg.Message{
+		h.emit(msg.Message{
 			Type: msg.Update, Src: h.id, Dst: c, Addr: addr, Requester: c, Version: v,
 		})
 	}

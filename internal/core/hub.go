@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"pccsim/internal/addrtab"
 	"pccsim/internal/cache"
 	"pccsim/internal/delegate"
 	"pccsim/internal/directory"
@@ -35,8 +36,45 @@ type Hub struct {
 	prod *delegate.ProducerTable // nil when delegation is disabled
 	cons *delegate.ConsumerTable // nil when delegation is disabled
 
-	mshrs  map[msg.Addr]*mshr
+	// mshrs tracks outstanding L2-miss transactions in an open-addressed
+	// line-indexed table (one lookup per delivered message — the hot
+	// path PR 2 moved off map[msg.Addr]).
+	mshrs  addrtab.Table[*mshr]
 	txnSeq uint64
+}
+
+// Engine event opcodes for the hub's closure-free schedulers (see
+// HandleMsgEvent). The delayed-send and delivery paths carry every
+// protocol hop, so they ride in typed events instead of closures.
+const (
+	opDispatch uint8 = iota // deliver a message to the protocol handlers
+	opSend                  // delayed send (directory occupancy, DRAM)
+	opHomeReq               // re-inject a request at the home directory
+)
+
+// HandleMsgEvent is the sim.MsgHandler entry point for the hub's typed
+// events.
+func (h *Hub) HandleMsgEvent(op uint8, m *msg.Message) {
+	switch op {
+	case opDispatch:
+		h.dispatch(m)
+	case opSend:
+		h.send(m)
+	case opHomeReq:
+		h.homeRequest(m)
+		h.eng.FreeMsg(m)
+	}
+}
+
+// newMsg allocates a message from the engine's free list. Every message a
+// hub sends is returned to the pool by the receiving hub's dispatch once
+// the protocol handlers are done with it.
+func (h *Hub) newMsg() *msg.Message { return h.eng.NewMsg() }
+
+// mshr returns the outstanding transaction for line, or nil.
+func (h *Hub) mshr(line msg.Addr) *mshr {
+	m, _ := h.mshrs.Get(uint64(line))
+	return m
 }
 
 // mshr tracks one outstanding L2-miss transaction.
@@ -115,11 +153,10 @@ func newHub(sys *System, id msg.NodeID, st *stats.Stats) *Hub {
 		mm:    sys.Mem,
 		st:    st,
 		gl:    sys.glob,
-		l1:    cache.New(cfg.L1Bytes, cfg.L1Ways, cfg.L1LineBytes),
-		l2:    cache.New(cfg.L2Bytes, cfg.L2Ways, cfg.L2LineBytes),
-		dir:   directory.New(),
-		dirc:  directory.NewDirCache(cfg.DirCacheEntries, 4),
-		mshrs: make(map[msg.Addr]*mshr),
+		l1:   cache.New(cfg.L1Bytes, cfg.L1Ways, cfg.L1LineBytes),
+		l2:   cache.New(cfg.L2Bytes, cfg.L2Ways, cfg.L2LineBytes),
+		dir:  directory.New(),
+		dirc: directory.NewDirCache(cfg.DirCacheEntries, 4),
 	}
 	if cfg.RACBytes > 0 {
 		h.rc = rac.New(cfg.RACBytes, cfg.RACWays, cfg.L2LineBytes)
@@ -139,13 +176,13 @@ func newHub(sys *System, id msg.NodeID, st *stats.Stats) *Hub {
 func (h *Hub) ID() msg.NodeID { return h.id }
 
 // Outstanding reports the number of in-flight L2 miss transactions.
-func (h *Hub) Outstanding() int { return len(h.mshrs) }
+func (h *Hub) Outstanding() int { return h.mshrs.Len() }
 
 // send routes a message; node-to-self transfers use the hub-internal
 // crossbar and are not network traffic.
 func (h *Hub) send(m *msg.Message) {
 	if m.Dst == h.id {
-		h.eng.After(h.cfg.Network.LocalLatency, func() { h.dispatch(m) })
+		h.eng.AfterMsg(h.cfg.Network.LocalLatency, h, opDispatch, m)
 		return
 	}
 	h.net.Send(m)
@@ -153,7 +190,22 @@ func (h *Hub) send(m *msg.Message) {
 
 // sendAfter delays a send (directory occupancy, DRAM access).
 func (h *Hub) sendAfter(d sim.Time, m *msg.Message) {
-	h.eng.After(d, func() { h.send(m) })
+	h.eng.AfterMsg(d, h, opSend, m)
+}
+
+// emit sends a pooled copy of tmpl immediately. The template stays on the
+// caller's stack; the wire copy comes from the engine's free list.
+func (h *Hub) emit(tmpl msg.Message) {
+	m := h.newMsg()
+	*m = tmpl
+	h.send(m)
+}
+
+// emitAfter sends a pooled copy of tmpl after delay d.
+func (h *Hub) emitAfter(d sim.Time, tmpl msg.Message) {
+	m := h.newMsg()
+	*m = tmpl
+	h.sendAfter(d, m)
 }
 
 // line returns the L2-line-aligned address of addr.
@@ -356,10 +408,13 @@ func (h *Hub) evictL2(v cache.Victim) {
 		// writeback message, including the races where the directory
 		// is busy with an intervention aimed at us.
 		if v.State == cache.Excl {
-			h.homeWriteback(&msg.Message{
+			wb := h.newMsg()
+			*wb = msg.Message{
 				Type: msg.Writeback, Src: h.id, Dst: h.id, Addr: v.Addr,
 				Requester: h.id, Version: v.Version, Dirty: v.Dirty,
-			})
+			}
+			h.homeWriteback(wb)
+			h.eng.FreeMsg(wb)
 		}
 		// A Shared victim leaves a stale sharer bit; later
 		// invalidations to it are acknowledged without a copy.
@@ -377,7 +432,7 @@ func (h *Hub) evictL2(v cache.Victim) {
 		}
 	}
 	if v.State == cache.Excl {
-		h.send(&msg.Message{
+		h.emit(msg.Message{
 			Type: msg.Writeback, Src: h.id, Dst: home, Addr: v.Addr,
 			Requester: h.id, Version: v.Version, Dirty: v.Dirty,
 		})
@@ -394,7 +449,7 @@ func (h *Hub) handleRACVictim(v rac.Victim) {
 		h.st.UpdatesWasted++
 	}
 	if v.State == cache.Excl {
-		h.send(&msg.Message{
+		h.emit(msg.Message{
 			Type: msg.Writeback, Src: h.id, Dst: h.home(v.Addr), Addr: v.Addr,
 			Requester: h.id, Version: v.Version, Dirty: v.Dirty,
 		})
@@ -403,13 +458,13 @@ func (h *Hub) handleRACVictim(v rac.Victim) {
 
 // startMiss begins (or merges into) an L2-miss transaction for line.
 func (h *Hub) startMiss(addr, line msg.Addr, write bool, done func()) {
-	if m := h.mshrs[line]; m != nil {
+	if m := h.mshr(line); m != nil {
 		// Merge: replay the access after the current transaction.
 		m.waiters = append(m.waiters, func() { h.Access(addr, write, done) })
 		return
 	}
 	m := &mshr{addr: line, wantExcl: write, done: done, acksNeeded: -1}
-	h.mshrs[line] = m
+	h.mshrs.Put(uint64(line), m)
 	h.issue(m)
 }
 
@@ -463,7 +518,7 @@ func (h *Hub) issue(m *mshr) {
 		m.homeRemote = true
 	}
 	m.target = target
-	h.sendAfter(h.cfg.L2Latency, &msg.Message{
+	h.emitAfter(h.cfg.L2Latency, msg.Message{
 		Type: reqType, Src: h.id, Dst: target, Addr: m.addr, Requester: h.id, Txn: m.txn,
 	})
 }
@@ -474,7 +529,7 @@ func (h *Hub) retry(m *mshr) {
 	h.st.Retries++
 	backoff := h.cfg.RetryBackoff + sim.Time(h.id)*7
 	h.eng.After(backoff, func() {
-		if h.mshrs[m.addr] == m {
+		if h.mshr(m.addr) == m {
 			h.issue(m)
 		}
 	})
@@ -486,7 +541,7 @@ func (h *Hub) tryComplete(m *mshr) {
 	if !m.dataReady || m.acksNeeded < 0 || m.acksGot < m.acksNeeded {
 		return
 	}
-	delete(h.mshrs, m.addr)
+	h.mshrs.Delete(uint64(m.addr))
 	h.st.RecordMiss(m.class())
 
 	if m.invalidated && !m.wantExcl {
@@ -541,10 +596,9 @@ func (h *Hub) tryComplete(m *mshr) {
 
 	// Service an intervention or ownership transfer that arrived while
 	// our fill was in flight (the home serialized it after us and is
-	// busy waiting for this node).
+	// busy waiting for this node). The re-dispatch frees it.
 	if m.deferred != nil {
-		d := m.deferred
-		h.eng.After(h.cfg.DirLatency, func() { h.dispatch(d) })
+		h.eng.AfterMsg(h.cfg.DirLatency, h, opDispatch, m.deferred)
 	}
 
 	h.checkInvariants(m.addr)
@@ -562,7 +616,7 @@ func (h *Hub) armSelfDowngrade(line msg.Addr, grant uint64) {
 		l2l.State = cache.Shared
 		l2l.Dirty = false // the eager writeback cleans it
 		h.st.SelfDowngrades++
-		h.send(&msg.Message{
+		h.emit(msg.Message{
 			Type: msg.EagerWriteback, Src: h.id, Dst: h.home(line), Addr: line,
 			Requester: h.id, Version: l2l.Version, Dirty: true, GrantTxn: grant,
 		})
@@ -575,7 +629,7 @@ func (h *Hub) nack(req *msg.Message, notHome bool) {
 	if notHome {
 		t = msg.NackNotHome
 	}
-	h.sendAfter(h.cfg.DirLatency, &msg.Message{
+	h.emitAfter(h.cfg.DirLatency, msg.Message{
 		Type: t, Src: h.id, Dst: req.Requester, Addr: req.Addr, Requester: req.Requester,
 		Txn: req.Txn,
 	})

@@ -103,7 +103,7 @@ func (s *System) CheckAll() {
 // no MSHRs, no busy directory entries, no in-flight updates.
 func (s *System) QuiesceCheck() error {
 	for _, hub := range s.Hubs {
-		if n := len(hub.mshrs); n != 0 {
+		if n := hub.mshrs.Len(); n != 0 {
 			return fmt.Errorf("node %d still has %d outstanding transactions", hub.id, n)
 		}
 		var err error

@@ -127,6 +127,13 @@ type CPU struct {
 	finish    sim.Time
 	barriers  uint64
 	computeCy sim.Time
+
+	// stepFn and retireFn are the hoisted method values for step and
+	// storeRetired: binding them once here keeps the per-operation
+	// continuation passing allocation free (a method value used inline
+	// allocates its bound closure on every use).
+	stepFn   func()
+	retireFn func()
 }
 
 // New creates a core. maxStore bounds outstanding store misses.
@@ -135,11 +142,14 @@ func New(eng *sim.Engine, id msg.NodeID, hub Accessor, stream Stream,
 	if maxStore < 1 {
 		maxStore = 1
 	}
-	return &CPU{id: id, eng: eng, hub: hub, stream: stream, bars: bars, maxStore: maxStore}
+	c := &CPU{id: id, eng: eng, hub: hub, stream: stream, bars: bars, maxStore: maxStore}
+	c.stepFn = c.step
+	c.retireFn = c.storeRetired
+	return c
 }
 
 // Start schedules the core's first instruction.
-func (c *CPU) Start() { c.eng.After(0, c.step) }
+func (c *CPU) Start() { c.eng.After(0, c.stepFn) }
 
 // Done reports whether the program finished.
 func (c *CPU) Done() bool { return c.done }
@@ -162,10 +172,10 @@ func (c *CPU) step() {
 		switch op.Kind {
 		case Compute:
 			c.computeCy += op.Cycles
-			c.eng.After(op.Cycles, c.step)
+			c.eng.After(op.Cycles, c.stepFn)
 			return
 		case Load:
-			c.hub.Access(op.Addr, false, c.step)
+			c.hub.Access(op.Addr, false, c.stepFn)
 			return
 		case Store:
 			if c.outstanding >= c.maxStore {
@@ -174,7 +184,7 @@ func (c *CPU) step() {
 				return // stalled until a store retires
 			}
 			c.issueStore(op)
-			c.eng.After(1, c.step)
+			c.eng.After(1, c.stepFn)
 			return
 		case Barrier:
 			c.barriers++
@@ -183,7 +193,7 @@ func (c *CPU) step() {
 				c.fenceBar = op.Bar
 				return // the last store retirement arrives at the barrier
 			}
-			c.bars.Arrive(op.Bar, c.step)
+			c.bars.Arrive(op.Bar, c.stepFn)
 			return
 		default:
 			panic(fmt.Sprintf("cpu: core %d got unknown op kind %d", c.id, op.Kind))
@@ -193,7 +203,7 @@ func (c *CPU) step() {
 
 func (c *CPU) issueStore(op Op) {
 	c.outstanding++
-	c.hub.Access(op.Addr, true, c.storeRetired)
+	c.hub.Access(op.Addr, true, c.retireFn)
 }
 
 func (c *CPU) storeRetired() {
@@ -202,11 +212,11 @@ func (c *CPU) storeRetired() {
 		op := *c.pendingOp
 		c.pendingOp = nil
 		c.issueStore(op)
-		c.eng.After(1, c.step)
+		c.eng.After(1, c.stepFn)
 		return
 	}
 	if c.fencing && c.outstanding == 0 {
 		c.fencing = false
-		c.bars.Arrive(c.fenceBar, c.step)
+		c.bars.Arrive(c.fenceBar, c.stepFn)
 	}
 }

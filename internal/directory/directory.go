@@ -10,6 +10,7 @@ package directory
 import (
 	"fmt"
 
+	"pccsim/internal/addrtab"
 	"pccsim/internal/msg"
 	"pccsim/internal/predictor"
 )
@@ -103,39 +104,55 @@ func (e *Entry) String() string {
 		e.State, e.Sharers.Nodes(), e.Owner, e.Pending, e.PC)
 }
 
+// entryChunk sizes the arena blocks entries are allocated from: one
+// allocation per 64 lines instead of one per line. Entry pointers handed
+// out stay stable because a full chunk is retired (still referenced by the
+// table) rather than reallocated.
+const entryChunk = 64
+
 // Directory is the full per-home-node directory. Entries are materialized
-// on first use (hardware keeps them in memory next to the data).
+// on first use (hardware keeps them in memory next to the data) into an
+// open-addressed, line-indexed table sized to the touched address range.
 type Directory struct {
-	entries map[msg.Addr]*Entry
+	entries addrtab.Table[*Entry]
+	arena   []Entry
 }
 
 // New returns an empty directory.
 func New() *Directory {
-	return &Directory{entries: make(map[msg.Addr]*Entry)}
+	return &Directory{}
 }
 
 // Entry returns the directory entry for the line, creating an Unowned one
 // on first reference.
 func (d *Directory) Entry(addr msg.Addr) *Entry {
-	e := d.entries[addr]
-	if e == nil {
-		e = &Entry{State: Unowned, Owner: msg.None, OwnerID: msg.None, Pending: msg.None}
-		d.entries[addr] = e
+	if e, ok := d.entries.Get(uint64(addr)); ok {
+		return e
 	}
+	if len(d.arena) == cap(d.arena) {
+		d.arena = make([]Entry, 0, entryChunk)
+	}
+	d.arena = append(d.arena, Entry{State: Unowned, Owner: msg.None, OwnerID: msg.None, Pending: msg.None})
+	e := &d.arena[len(d.arena)-1]
+	d.entries.Put(uint64(addr), e)
 	return e
 }
 
 // Peek returns the entry if it exists, without creating one.
-func (d *Directory) Peek(addr msg.Addr) *Entry { return d.entries[addr] }
+func (d *Directory) Peek(addr msg.Addr) *Entry {
+	e, _ := d.entries.Get(uint64(addr))
+	return e
+}
 
 // Len returns the number of materialized entries.
-func (d *Directory) Len() int { return len(d.entries) }
+func (d *Directory) Len() int { return d.entries.Len() }
 
 // ForEach visits every materialized entry.
 func (d *Directory) ForEach(fn func(msg.Addr, *Entry)) {
-	for a, e := range d.entries {
-		fn(a, e)
-	}
+	d.entries.Range(func(k uint64, e *Entry) bool {
+		fn(msg.Addr(k), e)
+		return true
+	})
 }
 
 // DirCache is the directory cache: a set-associative cache of recently

@@ -1,0 +1,58 @@
+package directory
+
+import (
+	"testing"
+
+	"pccsim/internal/msg"
+)
+
+// BenchmarkDirectoryEntry measures the steady-state entry lookup that runs
+// once per request arriving at a home node, over a touched set comparable
+// to one node's share of a workload.
+func BenchmarkDirectoryEntry(b *testing.B) {
+	d := New()
+	const lines = 4096
+	for i := 0; i < lines; i++ {
+		d.Entry(msg.Addr(i) * 128)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := d.Entry(msg.Addr(i&(lines-1)) * 128)
+		if e.State > Dele {
+			b.Fatal("bad state")
+		}
+	}
+}
+
+// BenchmarkDirCacheDetector measures the set-associative detector lookup
+// on the same path.
+func BenchmarkDirCacheDetector(b *testing.B) {
+	c := NewDirCache(1024, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Detector(msg.Addr(i&1023) * 128)
+	}
+}
+
+func TestDirectoryEntryStableAcrossArenaChunks(t *testing.T) {
+	d := New()
+	var ptrs []*Entry
+	for i := 0; i < entryChunk*4+7; i++ {
+		e := d.Entry(msg.Addr(i) * 128)
+		e.MemVersion = uint64(i)
+		ptrs = append(ptrs, e)
+	}
+	for i, p := range ptrs {
+		if got := d.Entry(msg.Addr(i) * 128); got != p {
+			t.Fatalf("entry %d moved: %p vs %p", i, got, p)
+		}
+		if p.MemVersion != uint64(i) {
+			t.Fatalf("entry %d lost state: MemVersion=%d", i, p.MemVersion)
+		}
+	}
+	if d.Len() != entryChunk*4+7 {
+		t.Fatalf("Len = %d, want %d", d.Len(), entryChunk*4+7)
+	}
+}

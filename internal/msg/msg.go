@@ -8,7 +8,10 @@
 // packet, plus the cache line payload for data-bearing messages.
 package msg
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // NodeID identifies a node (hub) in the system. Nodes are numbered from 0.
 type NodeID int
@@ -35,13 +38,7 @@ func (v Vector) Clear(n NodeID) Vector { return v &^ (1 << uint(n)) }
 func (v Vector) Has(n NodeID) bool { return v&(1<<uint(n)) != 0 }
 
 // Count returns the number of nodes in the vector.
-func (v Vector) Count() int {
-	c := 0
-	for x := v; x != 0; x &= x - 1 {
-		c++
-	}
-	return c
-}
+func (v Vector) Count() int { return bits.OnesCount64(uint64(v)) }
 
 // Nodes returns the members of the vector in ascending order.
 func (v Vector) Nodes() []NodeID {
@@ -58,11 +55,20 @@ func (v Vector) Nodes() []NodeID {
 // Only returns the single member of the vector; it panics if the vector
 // does not contain exactly one node (a directory-consistency bug).
 func (v Vector) Only() NodeID {
-	if v.Count() != 1 {
+	if v&(v-1) != 0 || v == 0 {
 		panic(fmt.Sprintf("msg: Vector %b does not have exactly one member", v))
 	}
-	return v.Nodes()[0]
+	return NodeID(bits.TrailingZeros64(uint64(v)))
 }
+
+// Lowest returns the lowest-numbered member of the vector (64 when empty).
+// It is the allocation-free building block for iterating members:
+//
+//	for w := v; w != 0; w &= w - 1 {
+//		n := w.Lowest()
+//		...
+//	}
+func (v Vector) Lowest() NodeID { return NodeID(bits.TrailingZeros64(uint64(v))) }
 
 // Type enumerates coherence message types.
 type Type uint8

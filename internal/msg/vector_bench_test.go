@@ -1,0 +1,63 @@
+package msg
+
+import "testing"
+
+// TestVectorOpsZeroAlloc proves Only and Count never allocate (they
+// previously materialized a []NodeID via Nodes and walked the vector
+// twice).
+func TestVectorOpsZeroAlloc(t *testing.T) {
+	v := Vector(0).Set(7)
+	full := Vector(0xFFFF)
+	var n NodeID
+	var c int
+	allocs := testing.AllocsPerRun(1000, func() {
+		n = v.Only()
+		c = full.Count()
+	})
+	if allocs != 0 {
+		t.Fatalf("Only+Count allocated %v allocs/op, want 0", allocs)
+	}
+	if n != 7 || c != 16 {
+		t.Fatalf("Only=%d Count=%d, want 7 and 16", n, c)
+	}
+}
+
+func TestVectorLowest(t *testing.T) {
+	if got := (Vector(0).Set(3).Set(9)).Lowest(); got != 3 {
+		t.Fatalf("Lowest = %d, want 3", got)
+	}
+	// Iteration idiom visits members in ascending order.
+	var got []NodeID
+	for w := Vector(0).Set(1).Set(5).Set(15); w != 0; w &= w - 1 {
+		got = append(got, w.Lowest())
+	}
+	want := []NodeID{1, 5, 15}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iterated %v, want %v", got, want)
+		}
+	}
+}
+
+func BenchmarkVectorOnly(b *testing.B) {
+	v := Vector(0).Set(13)
+	b.ReportAllocs()
+	var n NodeID
+	for i := 0; i < b.N; i++ {
+		n = v.Only()
+	}
+	_ = n
+}
+
+func BenchmarkVectorCount(b *testing.B) {
+	v := Vector(0x5A5A)
+	b.ReportAllocs()
+	var c int
+	for i := 0; i < b.N; i++ {
+		c = v.Count()
+	}
+	_ = c
+}

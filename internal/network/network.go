@@ -108,6 +108,36 @@ func (n *Network) Hops(a, b msg.NodeID) int {
 	return 2
 }
 
+// Engine event opcodes for the two delivery stages (see Send). Scheduling
+// through (handler, opcode, message) instead of a closure keeps the
+// per-message event footprint flat and allocation free — message delivery
+// is the simulation's single busiest scheduler.
+const (
+	opArrive uint8 = iota // reserve the destination ingress port
+	opDeliver             // hand the message to the node's handler
+)
+
+// serTime is the NI serialization time for m at the configured port width.
+func (n *Network) serTime(m *msg.Message) sim.Time {
+	return sim.Time((m.Bytes() + n.cfg.PortBytesPerCycle - 1) / n.cfg.PortBytesPerCycle)
+}
+
+// HandleMsgEvent advances a message through the delivery pipeline; it is
+// the sim.MsgHandler the engine calls for events Send schedules.
+func (n *Network) HandleMsgEvent(op uint8, m *msg.Message) {
+	switch op {
+	case opArrive:
+		// Destination port reservation happens on arrival so that port
+		// time reflects actual arrival order.
+		ser := n.serTime(m)
+		at := maxTime(n.eng.Now(), n.ingress[m.Dst])
+		n.ingress[m.Dst] = at + ser
+		n.eng.ScheduleMsg(at+ser, n, opDeliver, m)
+	case opDeliver:
+		n.deliver(m)
+	}
+}
+
 // Send injects m into the fabric. Delivery is scheduled on the engine after
 // serialization at the source port, hop latency, and serialization at the
 // destination port. Messages between a node and itself use the hub-internal
@@ -123,20 +153,14 @@ func (n *Network) Send(m *msg.Message) {
 	}
 	n.inFlight++
 	if m.Src == m.Dst {
-		n.eng.Schedule(now+n.cfg.LocalLatency, func() { n.deliver(m) })
+		n.eng.ScheduleMsg(now+n.cfg.LocalLatency, n, opDeliver, m)
 		return
 	}
-	ser := sim.Time((m.Bytes() + n.cfg.PortBytesPerCycle - 1) / n.cfg.PortBytesPerCycle)
+	ser := n.serTime(m)
 	depart := maxTime(now, n.egress[m.Src])
 	n.egress[m.Src] = depart + ser
 	arrive := depart + ser + sim.Time(n.Hops(m.Src, m.Dst))*n.cfg.HopLatency
-	// Destination port reservation happens on arrival so that port time
-	// reflects actual arrival order.
-	n.eng.Schedule(arrive, func() {
-		at := maxTime(n.eng.Now(), n.ingress[m.Dst])
-		n.ingress[m.Dst] = at + ser
-		n.eng.Schedule(at+ser, func() { n.deliver(m) })
-	})
+	n.eng.ScheduleMsg(arrive, n, opArrive, m)
 }
 
 func (n *Network) deliver(m *msg.Message) {

@@ -219,6 +219,12 @@ func TestRunGuardedUnlimited(t *testing.T) {
 
 func TestRunGuardedAbortsRunaway(t *testing.T) {
 	e := NewEngine()
+	// Execute some events before the guarded run so the error's
+	// engine-lifetime total is distinguishable from the guarded window.
+	for i := 0; i < 7; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
 	// A livelock: the event reschedules itself forever.
 	var spin func()
 	spin = func() { e.After(3, spin) }
@@ -233,6 +239,9 @@ func TestRunGuardedAbortsRunaway(t *testing.T) {
 	}
 	if re.Steps != 1000 {
 		t.Fatalf("Steps = %d, want 1000", re.Steps)
+	}
+	if re.TotalSteps != e.Steps() || re.TotalSteps != 1007 {
+		t.Fatalf("TotalSteps = %d, want engine total %d (= 1007)", re.TotalSteps, e.Steps())
 	}
 	if re.Pending != 1 {
 		t.Fatalf("Pending = %d, want 1 (the self-rescheduling event)", re.Pending)
