@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test smoke bench bench-smoke clean
+.PHONY: check vet build test smoke bench bench-smoke fuzz-smoke fuzz clean
 
 check: vet build test smoke
 
@@ -27,9 +27,21 @@ bench:
 		./internal/directory/... ./internal/addrtab/... ./internal/msg/... .
 	$(GO) run ./cmd/pccperf -o BENCH_pr2.json
 
-# One-iteration bench smoke for CI: compiles and runs every benchmark once.
+# One-iteration bench smoke for CI: compiles and runs every benchmark
+# once, then gates the engine and suite numbers against the committed
+# baseline (2x tolerance absorbs runner noise; the gate catches hot-loop
+# regressions, not wobbles).
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x ./internal/sim/... ./internal/network/...
+	$(GO) run ./cmd/pccperf -check BENCH_pr2.json
+
+# Seeded fuzzing under fault injection. fuzz-smoke is the quick PR gate;
+# fuzz is the long campaign the nightly workflow runs.
+fuzz-smoke:
+	$(GO) run -race ./cmd/pccfuzz -seed 1 -n 500 -t 2m -o fuzz-failures
+
+fuzz:
+	$(GO) run -race ./cmd/pccfuzz -seed $$(date +%Y%m%d) -t 20m -n 0 -o fuzz-failures
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,132 @@
+// Command pccfuzz fuzzes the coherence protocol under fault injection:
+// random small machines × random synthetic workloads × random fault
+// schedules, each run on a private engine with every runtime invariant
+// check armed. Failures are shrunk to minimal reproductions and written as
+// replayable JSON corpus files.
+//
+// Usage:
+//
+//	pccfuzz -seed 1 -n 500              # run 500 seeded cases
+//	pccfuzz -seed 1 -t 2m               # run until the time budget expires
+//	pccfuzz -replay repro.json          # replay one corpus file
+//	pccfuzz -replay internal/fault/testdata/corpus  # replay a directory
+//
+// Exit status is 0 when every case passes, 1 on any failure (shrunk
+// reproductions are written under -o), 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"pccsim/internal/fault"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "base seed; case i runs with seed+i")
+		n       = flag.Int("n", 0, "number of cases (0 = until -t expires)")
+		budget  = flag.Duration("t", 0, "wall-clock budget (0 = until -n cases)")
+		replay  = flag.String("replay", "", "replay a corpus file or directory instead of fuzzing")
+		outDir  = flag.String("o", "fuzz-failures", "directory for shrunk failure reproductions")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent cases")
+		shrink  = flag.Int("shrink", 2000, "max re-runs spent shrinking each failure (0 = off)")
+		maxFail = flag.Int("max-failures", 5, "stop after this many failures (0 = no limit)")
+		verbose = flag.Bool("v", false, "per-case output during replay")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(replayPath(*replay, *verbose, *shrink))
+	}
+	if *n == 0 && *budget == 0 {
+		*n = 200 // a quick default smoke
+	}
+
+	cr := fault.RunCampaign(fault.CampaignOpts{
+		Seed:        *seed,
+		Cases:       *n,
+		Budget:      *budget,
+		Workers:     *workers,
+		ShrinkRuns:  *shrink,
+		MaxFailures: *maxFail,
+		Log:         os.Stderr,
+	})
+
+	fmt.Printf("pccfuzz: %d cases, %d perturbed, %d engine events, %d failures, %s\n",
+		cr.Cases, cr.Perturbed, cr.Events, len(cr.Failures), cr.Wall.Round(time.Millisecond))
+	if len(cr.Failures) == 0 {
+		return
+	}
+	for _, f := range cr.Failures {
+		name := filepath.Join(*outDir, fmt.Sprintf("seed%d.json", f.Seed))
+		f.Shrunk.Note = fmt.Sprintf("shrunk from seed %d: %s", f.Seed, f.Result.Failure)
+		if err := fault.WriteCase(name, f.Shrunk); err != nil {
+			fmt.Fprintf(os.Stderr, "pccfuzz: writing %s: %v\n", name, err)
+		}
+		fmt.Printf("FAIL seed %d: %s\n     shrunk %d -> %d ops (%d runs) -> %s\n",
+			f.Seed, f.Result.Failure, len(f.Case.Ops), f.ShrunkOps, f.ShrinkRuns, name)
+	}
+	os.Exit(1)
+}
+
+// replayPath replays one corpus file or every *.json in a directory. A
+// still-failing single file is re-shrunk in place when shrinkRuns > 0
+// (useful after improving the shrinker or simplifying a case by hand).
+func replayPath(path string, verbose bool, shrinkRuns int) int {
+	info, err := os.Stat(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pccfuzz: %v\n", err)
+		return 2
+	}
+	var cases []fault.Case
+	var names []string
+	if info.IsDir() {
+		cases, names, err = fault.LoadCorpus(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pccfuzz: %v\n", err)
+			return 2
+		}
+	} else {
+		c, err := fault.ReadCase(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pccfuzz: %v\n", err)
+			return 2
+		}
+		cases, names = []fault.Case{c}, []string{filepath.Base(path)}
+	}
+
+	failures := 0
+	for i, c := range cases {
+		res := c.Run()
+		if !res.Ok && !info.IsDir() && shrinkRuns > 0 {
+			shrunk, runs := fault.Shrink(c, shrinkRuns)
+			if len(shrunk.Ops) < len(c.Ops) {
+				if err := fault.WriteCase(path, shrunk); err != nil {
+					fmt.Fprintf(os.Stderr, "pccfuzz: rewriting %s: %v\n", path, err)
+				} else {
+					fmt.Printf("%s: re-shrunk %d -> %d ops (%d runs)\n",
+						path, len(c.Ops), len(shrunk.Ops), runs)
+				}
+			}
+		}
+		status := "ok"
+		if !res.Ok {
+			status = "FAIL: " + res.Failure
+			failures++
+		}
+		if verbose || !res.Ok {
+			fmt.Printf("%-30s %d ops, %d events, %d cycles, %d perturbations: %s\n",
+				names[i], res.Ops, res.Events, res.Cycles, res.Perturbations, status)
+		}
+	}
+	fmt.Printf("pccfuzz: replayed %d case(s), %d failure(s)\n", len(cases), failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

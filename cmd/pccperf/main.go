@@ -93,6 +93,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "suite worker-pool size (0 = GOMAXPROCS)")
 	scale := flag.Int("scale", 1, "suite workload problem-size multiplier")
 	quick := flag.Bool("quick", false, "skip the full suite; engine microbenchmark only")
+	check := flag.String("check", "", "regression-gate mode: compare a fresh run against this baseline file instead of writing")
+	tolerance := flag.Float64("tolerance", 2.0, "with -check: fail if a metric is worse than baseline by more than this factor")
 	flag.Parse()
 
 	var rep report
@@ -137,6 +139,10 @@ func main() {
 			rep.Suite.EventsPerSec/1e6)
 	}
 
+	if *check != "" {
+		os.Exit(checkBaseline(*check, &rep, *tolerance, *quick))
+	}
+
 	enc, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pccperf:", err)
@@ -151,4 +157,52 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pccperf:", err)
 		os.Exit(1)
 	}
+}
+
+// checkBaseline is the bench-regression gate: the fresh measurements in
+// rep must not be worse than the committed baseline by more than the
+// tolerance factor. Engine ns/event and suite wall time gate; event-count
+// drift (the workload itself changed) only warns, since a different
+// workload makes wall-time comparison advisory anyway. The generous
+// default tolerance absorbs machine-to-machine and CI-runner noise — the
+// gate exists to catch order-of-magnitude hot-loop regressions, not 10%
+// wobbles.
+func checkBaseline(path string, rep *report, tol float64, quick bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pccperf:", err)
+		return 1
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "pccperf: %s: %v\n", path, err)
+		return 1
+	}
+
+	fail := 0
+	gate := func(name string, got, want float64) {
+		switch {
+		case want <= 0:
+			fmt.Fprintf(os.Stderr, "pccperf: check %-16s baseline missing; skipped\n", name)
+		case got > want*tol:
+			fmt.Fprintf(os.Stderr, "pccperf: check %-16s FAIL: %.2f vs baseline %.2f (> %.1fx)\n",
+				name, got, want, tol)
+			fail = 1
+		default:
+			fmt.Fprintf(os.Stderr, "pccperf: check %-16s ok: %.2f vs baseline %.2f (%.2fx)\n",
+				name, got, want, got/want)
+		}
+	}
+	gate("engine-ns/event", rep.Engine.NsPerEvent, base.Engine.NsPerEvent)
+	if !quick {
+		gate("suite-wall-s", rep.Suite.WallSeconds, base.Suite.WallSeconds)
+		if base.Suite.Events != 0 && rep.Suite.Events != base.Suite.Events {
+			fmt.Fprintf(os.Stderr, "pccperf: check suite-events       warn: %d vs baseline %d (workload changed; wall gate is advisory)\n",
+				rep.Suite.Events, base.Suite.Events)
+		}
+	}
+	if fail == 0 {
+		fmt.Fprintf(os.Stderr, "pccperf: check OK against %s (tolerance %.1fx)\n", path, tol)
+	}
+	return fail
 }

@@ -187,11 +187,11 @@ func (c *Config) consumerEntries() int {
 	if c.ConsumerEntries > 0 {
 		return c.ConsumerEntries
 	}
-	n := 4 * c.DelegateEntries
-	if n < 4 {
-		n = 4
+	sets := 1
+	for sets < c.DelegateEntries {
+		sets <<= 1
 	}
-	return n
+	return 4 * sets // set count must be a power of two
 }
 
 // interventionDelay resolves the delayed-intervention interval.

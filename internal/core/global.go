@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"pccsim/internal/msg"
 )
@@ -60,3 +61,14 @@ func (g *global) observe(node msg.NodeID, addr msg.Addr, v uint64) {
 // latestVersion reports the newest written version of addr (0 if never
 // written).
 func (g *global) latestVersion(addr msg.Addr) uint64 { return g.latest[addr] }
+
+// writtenLines returns every line the oracle has seen written, in address
+// order (deterministic for error reporting).
+func (g *global) writtenLines() []msg.Addr {
+	out := make([]msg.Addr, 0, len(g.latest))
+	for a := range g.latest {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -278,16 +278,27 @@ func (h *Hub) consumerUpdate(m *msg.Message) {
 	// writes to the line ordered behind outstanding pushes.
 	defer h.sys.Hubs[m.Src].updateDelivered(m)
 
-	if ms := h.mshr(m.Addr); ms != nil && !ms.wantExcl {
-		h.st.UpdatesUseful++
-		ms.dataReady = true
-		ms.version = m.Version
-		ms.fillState = cache.Shared
-		if ms.acksNeeded < 0 {
-			ms.acksNeeded = 0
+	if ms := h.mshr(m.Addr); ms != nil {
+		if !ms.wantExcl {
+			h.st.UpdatesUseful++
+			ms.dataReady = true
+			ms.version = m.Version
+			ms.fillState = cache.Shared
+			if ms.acksNeeded < 0 {
+				ms.acksNeeded = 0
+			}
+			h.tryComplete(ms)
+			return
 		}
-		h.tryComplete(ms)
-		return
+		// A pending write: the push refreshes the stashed copy an
+		// in-flight Upgrade would otherwise complete against. The home
+		// may have invalidated our SHARED copy and then re-added us to
+		// the sharing vector with this very push — in which case it
+		// will grant the (delayed) upgrade, and the pushed version,
+		// not the stale stash, is the copy that grant covers.
+		if m.Version > ms.upgVer {
+			ms.upgVer = m.Version
+		}
 	}
 	if l2l := h.l2.Lookup(m.Addr); l2l != nil {
 		return // already re-read it: the push was unnecessary

@@ -428,6 +428,14 @@ func (h *Hub) fireIntervention(addr msg.Addr, e *directory.Entry, seq uint64, de
 	if !e.UpdatePending || e.WriteSeq != seq {
 		return // superseded by a newer write or an undelegation
 	}
+	if h.mshr(addr) != nil {
+		// The producer's own next transaction on the line is already in
+		// flight (e.g. an upgrade mid-invalidation has flipped the entry
+		// to EXCL while the L2 copy is still SHARED). Downgrading now
+		// would clobber that transaction's directory state and push a
+		// stale version; its completion re-arms the timer instead.
+		return
+	}
 	e.UpdatePending = false
 	e.DowngradeAt = uint64(h.eng.Now())
 

@@ -145,14 +145,14 @@ func (m *mshr) class() stats.MissClass {
 func newHub(sys *System, id msg.NodeID, st *stats.Stats) *Hub {
 	cfg := &sys.Cfg
 	h := &Hub{
-		id:    id,
-		sys:   sys,
-		cfg:   cfg,
-		eng:   sys.Eng,
-		net:   sys.Net,
-		mm:    sys.Mem,
-		st:    st,
-		gl:    sys.glob,
+		id:   id,
+		sys:  sys,
+		cfg:  cfg,
+		eng:  sys.Eng,
+		net:  sys.Net,
+		mm:   sys.Mem,
+		st:   st,
+		gl:   sys.glob,
 		l1:   cache.New(cfg.L1Bytes, cfg.L1Ways, cfg.L1LineBytes),
 		l2:   cache.New(cfg.L2Bytes, cfg.L2Ways, cfg.L2LineBytes),
 		dir:  directory.New(),

@@ -99,6 +99,53 @@ func (s *System) CheckAll() {
 	}
 }
 
+// VerifyValue checks that the newest written version of line is still
+// recoverable somewhere in the machine: a cache or RAC copy, the home's
+// memory image, or a delegated producer-table entry. Call it only on a
+// quiesced system (after the event queue drains); transients legitimately
+// keep the latest data in flight. A failure means the protocol lost an
+// update — the end-state analogue of the stale-write runtime check.
+func (s *System) VerifyValue(line msg.Addr) error {
+	latest := s.glob.latestVersion(line)
+	if latest == 0 {
+		return nil // never written; nothing to lose
+	}
+	for _, hub := range s.Hubs {
+		if l := hub.l2.Lookup(line); l != nil && l.Version == latest {
+			return nil
+		}
+		if hub.rc != nil {
+			if rl := hub.rc.Lookup(line); rl != nil && rl.Version == latest {
+				return nil
+			}
+		}
+		if hub.prod != nil {
+			if pe := hub.prod.Peek(line); pe != nil && pe.Dir.MemVersion == latest {
+				return nil
+			}
+		}
+	}
+	if home, ok := s.Mem.HomeIfPlaced(line); ok {
+		if e := s.Hubs[home].dir.Peek(line); e != nil && e.MemVersion == latest {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: lost update on %#x: version %d was written but no cache, RAC or memory copy holds it",
+		uint64(line), latest)
+}
+
+// VerifyValues runs VerifyValue over every line the data-version oracle has
+// seen written. The fuzzer calls it at the end of every case; a clean run
+// proves no store was silently dropped by a race.
+func (s *System) VerifyValues() error {
+	for _, line := range s.glob.writtenLines() {
+		if err := s.VerifyValue(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // QuiesceCheck verifies that a drained system holds no transient state:
 // no MSHRs, no busy directory entries, no in-flight updates.
 func (s *System) QuiesceCheck() error {

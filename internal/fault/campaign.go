@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// CampaignOpts configures a fuzzing campaign.
+type CampaignOpts struct {
+	Seed    int64         // base seed; case i uses Seed+i
+	Cases   int           // max cases (0 = unlimited, bound by Budget)
+	Budget  time.Duration // wall-clock budget (0 = unlimited, bound by Cases)
+	Workers int           // concurrent runners (min 1)
+	Gen     GenOpts
+	// ShrinkRuns bounds each failure's shrink effort (0 = no shrinking).
+	ShrinkRuns int
+	// MaxFailures stops the campaign early (0 = collect them all).
+	MaxFailures int
+	Log         io.Writer // optional progress log
+	LogEvery    int       // log a progress line every N cases (0 = 200)
+}
+
+// Failure is one failing case with its shrunk reproduction.
+type Failure struct {
+	Seed       int64
+	Result     Result // verdict of the original case
+	Case       Case   // the original generated case
+	Shrunk     Case   // minimal reproduction (== Case when not shrunk)
+	ShrunkOps  int
+	ShrinkRuns int
+}
+
+// CampaignResult summarizes a campaign.
+type CampaignResult struct {
+	Cases    int
+	Events   uint64
+	Failures []Failure
+	Wall     time.Duration
+	// Perturbed counts cases whose schedule actually fired at least one
+	// perturbation — a campaign where this stays near zero is not
+	// testing what it thinks it is.
+	Perturbed int
+}
+
+// RunCampaign generates and runs cases over seeds opts.Seed+i. Each case
+// runs on its own private engine, so workers share nothing; results are
+// folded in seed order, making the campaign summary independent of worker
+// count and scheduling. Failures are shrunk before being reported.
+func RunCampaign(opts CampaignOpts) CampaignResult {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	logEvery := opts.LogEvery
+	if logEvery == 0 {
+		logEvery = 200
+	}
+	start := time.Now()
+	deadline := time.Time{}
+	if opts.Budget > 0 {
+		deadline = start.Add(opts.Budget)
+	}
+
+	type outcome struct {
+		c   Case
+		res Result
+	}
+	var (
+		mu   sync.Mutex
+		next int64 // next case index to hand out
+		stop bool
+		outs []outcome
+	)
+	claim := func() (int64, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if stop {
+			return 0, false
+		}
+		if opts.Cases > 0 && next >= int64(opts.Cases) {
+			return 0, false
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				c := GenCase(opts.Seed+i, opts.Gen)
+				res := c.Run()
+				mu.Lock()
+				outs = append(outs, outcome{c, res})
+				done := len(outs)
+				failures := 0
+				for _, o := range outs {
+					if !o.res.Ok {
+						failures++
+					}
+				}
+				if opts.MaxFailures > 0 && failures >= opts.MaxFailures {
+					stop = true
+				}
+				if opts.Log != nil && done%logEvery == 0 {
+					fmt.Fprintf(opts.Log, "fuzz: %d cases, %d failures, %s elapsed\n",
+						done, failures, time.Since(start).Round(time.Second))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Fold in seed order so the summary is scheduling-independent.
+	bySeed := make(map[int64]outcome, len(outs))
+	for _, o := range outs {
+		bySeed[o.c.Seed] = o
+	}
+	var cr CampaignResult
+	for i := int64(0); ; i++ {
+		o, ok := bySeed[opts.Seed+i]
+		if !ok {
+			break
+		}
+		cr.Cases++
+		cr.Events += o.res.Events
+		if o.res.Perturbations > 0 {
+			cr.Perturbed++
+		}
+		if !o.res.Ok {
+			f := Failure{Seed: o.c.Seed, Result: o.res, Case: o.c, Shrunk: o.c}
+			if opts.ShrinkRuns > 0 {
+				f.Shrunk, f.ShrinkRuns = Shrink(o.c, opts.ShrinkRuns)
+			}
+			f.ShrunkOps = len(f.Shrunk.Ops)
+			cr.Failures = append(cr.Failures, f)
+		}
+	}
+	cr.Wall = time.Since(start)
+	return cr
+}

@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// WriteCase serializes c as indented JSON at path (parent directories are
+// created). The files are meant to be committed, so the encoding is stable
+// and human-editable.
+func WriteCase(path string, c Case) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadCase loads a corpus file. Unknown fields are rejected so a typo in a
+// hand-edited reproduction fails loudly instead of silently running a
+// different case.
+func ReadCase(path string) (Case, error) {
+	var c Case
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return c, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// LoadCorpus reads every *.json case under dir, sorted by name for
+// deterministic iteration. A missing directory is an empty corpus.
+func LoadCorpus(dir string) ([]Case, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	cases := make([]Case, 0, len(names))
+	for _, n := range names {
+		c, err := ReadCase(filepath.Join(dir, n))
+		if err != nil {
+			return nil, nil, err
+		}
+		cases = append(cases, c)
+	}
+	return cases, names, nil
+}

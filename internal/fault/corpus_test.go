@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"os"
+	"testing"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// TestCorpusReplay replays every committed reproduction. Each file is a
+// shrunk case that once exposed a protocol bug (or exercises a race window
+// worth pinning); all must now run clean under full invariant checking.
+func TestCorpusReplay(t *testing.T) {
+	cases, names, err := LoadCorpus("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("committed corpus is empty")
+	}
+	for i, c := range cases {
+		res := c.Run()
+		if !res.Ok {
+			t.Errorf("%s: %s", names[i], res.Failure)
+		}
+	}
+}
+
+// TestCorpusRoundTrip: a case survives serialization bit-for-bit — the
+// replayed verdict matches the in-memory one.
+func TestCorpusRoundTrip(t *testing.T) {
+	c := GenCase(77, GenOpts{})
+	path := t.TempDir() + "/case.json"
+	if err := WriteCase(path, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := c.Run(), back.Run()
+	a.Wall, b.Wall = 0, 0
+	if a != b {
+		t.Fatalf("round-tripped case runs differently:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestCorpusRejectsUnknownFields: hand-edited reproductions with typos
+// must fail loudly, not silently replay a different case.
+func TestCorpusRejectsUnknownFields(t *testing.T) {
+	path := t.TempDir() + "/bad.json"
+	if err := writeFile(path, `{"seed": 1, "machnie": {"nodes": 4}}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCase(path); err == nil {
+		t.Fatal("typo'd field accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestInjectorValidation rejects schedules that could silently misfire.
+func TestInjectorValidation(t *testing.T) {
+	if _, err := NewInjector(Config{Rules: []Rule{{Type: "NoSuchType", Delay: 10}}}); err == nil {
+		t.Fatal("unknown message type accepted")
+	}
+	if _, err := NewInjector(Config{Rules: []Rule{{Type: "InvAck", NackEvery: 1}}}); err == nil {
+		t.Fatal("NACK rule on a non-request type accepted")
+	}
+	if _, err := NewInjector(Config{Rules: []Rule{{Type: "GetShared", NackEvery: 2}}}); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+// TestCaseDeterminism is the acceptance gate: the same case runs to the
+// same verdict, event count and counters every time.
+func TestCaseDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		c := GenCase(seed, GenOpts{})
+		a, b := c.Run(), c.Run()
+		a.Wall, b.Wall = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two runs differ:\n%+v\n%+v", seed, a, b)
+		}
+	}
+}
+
+// TestGenDeterminism: the generator is a pure function of its seed.
+func TestGenDeterminism(t *testing.T) {
+	for _, seed := range []int64{3, 99} {
+		a, b := GenCase(seed, GenOpts{}), GenCase(seed, GenOpts{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: generator not deterministic", seed)
+		}
+	}
+}
+
+// TestSmokeCampaign runs a quick seeded campaign; every case must pass,
+// and the campaign must actually be perturbing most runs (a chaos layer
+// that never fires tests nothing).
+func TestSmokeCampaign(t *testing.T) {
+	n := 300
+	if testing.Short() {
+		n = 60
+	}
+	cr := RunCampaign(CampaignOpts{Seed: 1, Cases: n, Workers: 2, ShrinkRuns: 500})
+	if cr.Cases != n {
+		t.Fatalf("ran %d of %d cases", cr.Cases, n)
+	}
+	for _, f := range cr.Failures {
+		t.Errorf("seed %d: %s (shrunk to %d ops)", f.Seed, f.Result.Failure, f.ShrunkOps)
+	}
+	if cr.Perturbed < n/2 {
+		t.Fatalf("only %d/%d cases were perturbed; the chaos layer is not firing", cr.Perturbed, n)
+	}
+}
+
+// TestPlantedBugCaught is the end-to-end fuzzer acceptance: inject a
+// protocol bug (silently dropping NackNotHome, so a requester bounced off
+// a stale delegation hint never retries and its access hangs), and prove
+// the campaign finds it and shrinks it to a small reproduction that still
+// fails.
+func TestPlantedBugCaught(t *testing.T) {
+	bug := Rule{Type: "NackNotHome", DropEvery: 1}
+	cr := RunCampaign(CampaignOpts{
+		Seed:        1,
+		Cases:       400,
+		Workers:     2,
+		Gen:         GenOpts{ForceDelegation: true, ExtraRules: []Rule{bug}},
+		ShrinkRuns:  3000,
+		MaxFailures: 1,
+	})
+	if len(cr.Failures) == 0 {
+		t.Fatal("planted NackNotHome drop was never caught in 400 cases")
+	}
+	f := cr.Failures[0]
+	if res := f.Shrunk.Run(); res.Ok {
+		t.Fatalf("shrunk case no longer fails: %+v", res)
+	}
+	if f.ShrunkOps > 20 {
+		t.Errorf("shrunk reproduction has %d ops, want <= 20", f.ShrunkOps)
+	}
+	t.Logf("caught seed %d: %s; shrunk %d -> %d ops in %d runs",
+		f.Seed, f.Result.Failure, len(f.Case.Ops), f.ShrunkOps, f.ShrinkRuns)
+}
+
+// TestZeroFaultConfigDisabled: an empty schedule installs no chaos at all,
+// keeping the zero-fault path identical to a plain run.
+func TestZeroFaultConfigDisabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero Config reports Enabled")
+	}
+	if (Config{Seed: 99}).Enabled() {
+		t.Fatal("seed alone must not enable chaos")
+	}
+	if !(Config{NackProb: 0.1}).Enabled() {
+		t.Fatal("NackProb must enable chaos")
+	}
+}
+
+// TestWatchdogReportsCensus drives a case into a genuine livelock — every
+// GetShared bounced, forever — and checks the watchdog failure carries
+// both the fault seed and the pending-message census, the two things a
+// triager needs before ever opening the replay file.
+func TestWatchdogReportsCensus(t *testing.T) {
+	c := Case{
+		Seed: 9,
+		Machine: Machine{
+			Nodes: 3, Lines: 1, L2Lines: 4,
+		},
+		Faults: Config{
+			Seed: 9,
+			// Count 0 = unlimited: the read below can never complete.
+			Rules: []Rule{{Type: "GetShared", NackEvery: 1}},
+		},
+		Ops: []Op{{At: 0, Node: 1, Line: 0}},
+	}
+	res := c.Run()
+	if res.Ok {
+		t.Fatal("endless-NACK case unexpectedly completed")
+	}
+	if !strings.Contains(res.Failure, "watchdog (fault seed 9)") {
+		t.Fatalf("failure lacks fault seed: %q", res.Failure)
+	}
+	if !strings.Contains(res.Failure, "pending:") {
+		t.Fatalf("failure lacks pending-message census: %q", res.Failure)
+	}
+}

@@ -1,0 +1,261 @@
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"pccsim/internal/core"
+	"pccsim/internal/msg"
+	"pccsim/internal/sim"
+)
+
+// Machine is the reduced configuration space the fuzzer explores: tiny
+// caches and tables so every structural pressure point (L2 conflict
+// evictions, RAC pin saturation, delegate-cache churn) is reachable within
+// a few hundred operations. It maps onto core.Config via BuildConfig.
+type Machine struct {
+	Nodes int `json:"nodes"`
+	// Lines is the address-pool size. Line i lives on its own page,
+	// pre-placed at node i%Nodes, so shrinking an op list never moves
+	// the homes of the survivors.
+	Lines int `json:"lines"`
+
+	L2Lines  int `json:"l2_lines"`  // L2 capacity in 128 B lines (2-way)
+	RACLines int `json:"rac_lines"` // RAC capacity in lines; 0 disables
+
+	DelegateEntries int  `json:"delegate_entries,omitempty"`
+	Updates         bool `json:"updates,omitempty"`
+	Adaptive        bool `json:"adaptive,omitempty"`
+	SelfInvalidate  bool `json:"self_invalidate,omitempty"`
+	DetectorWriters int  `json:"detector_writers,omitempty"`
+
+	// InterventionDelay in cycles (0 = the protocol default of 50);
+	// NoIntervention disables the delayed intervention entirely.
+	InterventionDelay uint64 `json:"intervention_delay,omitempty"`
+	NoIntervention    bool   `json:"no_intervention,omitempty"`
+}
+
+// Op is one injected memory operation: node performs a load or store on
+// address-pool line Line at engine cycle At. Ops are the unit the shrinker
+// removes, so a minimal reproduction reads as a short program.
+type Op struct {
+	At    uint64 `json:"at"`
+	Node  int    `json:"node"`
+	Line  int    `json:"line"`
+	Write bool   `json:"write,omitempty"`
+}
+
+// Case is one self-contained fuzz input: a machine, a fault schedule and a
+// timed op list. Cases serialize to JSON for the replay corpus; running
+// the same case always produces the same Result.
+type Case struct {
+	// Seed records the generator seed the case came from (provenance
+	// only; replay never re-derives anything from it).
+	Seed int64  `json:"seed"`
+	Note string `json:"note,omitempty"`
+
+	Machine Machine `json:"machine"`
+	Faults  Config  `json:"faults"`
+	Ops     []Op    `json:"ops"`
+}
+
+// Result is the deterministic verdict of running a case.
+type Result struct {
+	Ok      bool   `json:"ok"`
+	Failure string `json:"failure,omitempty"`
+
+	Events    uint64 `json:"events"` // engine events executed
+	Cycles    uint64 `json:"cycles"` // final simulation time
+	Completed int    `json:"completed"`
+	Ops       int    `json:"ops"`
+
+	// Interestingness counters: how hard the case exercised the race
+	// machinery. Used to select corpus-worthy cases and to assert that
+	// targeted schedules actually opened their windows.
+	Nacks         uint64        `json:"nacks,omitempty"`
+	Retries       uint64        `json:"retries,omitempty"`
+	Delegations   uint64        `json:"delegations,omitempty"`
+	Undelegations uint64        `json:"undelegations,omitempty"`
+	Interventions uint64        `json:"interventions,omitempty"`
+	UpdatesSent   uint64        `json:"updates_sent,omitempty"`
+	Perturbations uint64        `json:"perturbations,omitempty"`
+	Wall          time.Duration `json:"-"`
+}
+
+// poolBase anchors the fuzz address pool; each line gets its own page so
+// line index i maps to a stable home node i%Nodes.
+const (
+	poolBase  = msg.Addr(0x1000_0000)
+	poolPage  = 4096
+	lineBytes = 128
+)
+
+// LineAddr returns the address of pool line i.
+func LineAddr(i int) msg.Addr { return poolBase + msg.Addr(i)*poolPage }
+
+// Validate checks the case for structural sanity (not protocol legality —
+// any well-formed case is legal input).
+func (c *Case) Validate() error {
+	m := &c.Machine
+	if m.Nodes < 2 || m.Nodes > 64 {
+		return fmt.Errorf("fault: machine nodes = %d, want 2..64", m.Nodes)
+	}
+	if m.Lines < 1 {
+		return fmt.Errorf("fault: machine needs at least one pool line")
+	}
+	if m.L2Lines < 2 {
+		return fmt.Errorf("fault: L2 needs at least two lines")
+	}
+	if m.DelegateEntries > 0 && m.RACLines == 0 {
+		return fmt.Errorf("fault: delegation requires a RAC")
+	}
+	if m.SelfInvalidate && (m.DelegateEntries > 0 || m.Updates) {
+		return fmt.Errorf("fault: self-invalidation excludes delegation/updates")
+	}
+	for i, op := range c.Ops {
+		if op.Node < 0 || op.Node >= m.Nodes {
+			return fmt.Errorf("fault: op %d targets node %d of %d", i, op.Node, m.Nodes)
+		}
+		if op.Line < 0 || op.Line >= m.Lines {
+			return fmt.Errorf("fault: op %d targets line %d of %d", i, op.Line, m.Lines)
+		}
+	}
+	return nil
+}
+
+// watchdogSteps bounds one case's engine events: generous against the
+// heaviest legitimate case (a few hundred events per op), tight enough
+// that a livelock aborts in well under a second.
+func (c *Case) watchdogSteps() uint64 {
+	return 300_000 + 10_000*uint64(len(c.Ops))
+}
+
+// BuildConfig maps the machine (with the fault schedule's pressure knobs
+// applied) onto a core configuration with every runtime check armed.
+func (c *Case) BuildConfig() core.Config {
+	m := &c.Machine
+	cfg := core.DefaultConfig()
+	cfg.Nodes = m.Nodes
+	cfg.L1Bytes, cfg.L1Ways, cfg.L1LineBytes = 128, 2, 32
+	cfg.L2Bytes, cfg.L2Ways = m.L2Lines*lineBytes, 2
+	cfg.RACBytes, cfg.RACWays = m.RACLines*lineBytes, 2
+	cfg.DelegateEntries = m.DelegateEntries
+	if c.Faults.DelegateCap > 0 && cfg.DelegateEntries > c.Faults.DelegateCap {
+		cfg.DelegateEntries = c.Faults.DelegateCap
+	}
+	cfg.EnableUpdates = m.Updates && cfg.DelegateEntries > 0
+	cfg.AdaptiveDelay = m.Adaptive
+	cfg.SelfInvalidate = m.SelfInvalidate
+	cfg.DetectorWriters = m.DetectorWriters
+	if m.NoIntervention {
+		cfg.InterventionDelay = core.NoIntervention
+	} else if m.InterventionDelay > 0 {
+		cfg.InterventionDelay = sim.Time(m.InterventionDelay)
+	}
+	cfg.CheckInvariants = true
+	cfg.WatchdogSteps = c.watchdogSteps()
+	return cfg
+}
+
+// Run executes the case on a private engine and returns its verdict.
+// Every check the simulator has is armed: the per-transaction invariant
+// checks and the version oracle during the run, then quiescence, global
+// coherence and end-state value verification once the queue drains.
+// Protocol panics (the invariant checkers' failure mode) are converted
+// into failing Results, so a campaign survives any verdict.
+func (c *Case) Run() (res Result) {
+	res.Ops = len(c.Ops)
+	if err := c.Validate(); err != nil {
+		res.Failure = "invalid: " + err.Error()
+		return res
+	}
+
+	sys, err := core.NewSystem(c.BuildConfig())
+	if err != nil {
+		res.Failure = "config: " + err.Error()
+		return res
+	}
+	var inj *Injector
+	if c.Faults.Enabled() {
+		inj, err = NewInjector(c.Faults)
+		if err != nil {
+			res.Failure = "faults: " + err.Error()
+			return res
+		}
+		sys.Net.Chaos = inj
+	}
+	// Stripe the pool homes so they are independent of op order.
+	for i := 0; i < c.Machine.Lines; i++ {
+		sys.Mem.Place(LineAddr(i), msg.NodeID(i%c.Machine.Nodes))
+	}
+
+	start := time.Now()
+	defer func() {
+		res.Events = sys.Eng.Steps()
+		res.Cycles = uint64(sys.Eng.Now())
+		res.Wall = time.Since(start)
+		if inj != nil {
+			res.Perturbations = inj.Perturbations()
+		}
+		agg := sys.Aggregate()
+		res.Nacks = agg.Nacks()
+		res.Retries = agg.Retries
+		res.Delegations = agg.Delegations
+		res.Undelegations = agg.TotalUndelegations()
+		res.Interventions = agg.Interventions
+		res.UpdatesSent = agg.UpdatesSent
+		if r := recover(); r != nil {
+			res.Ok = false
+			res.Failure = fmt.Sprintf("invariant panic: %v", r)
+		}
+	}()
+
+	completed := 0
+	for _, op := range c.Ops {
+		node, addr, write := msg.NodeID(op.Node), LineAddr(op.Line), op.Write
+		sys.Eng.Schedule(sim.Time(op.At), func() {
+			sys.Access(node, addr, write, func() { completed++ })
+		})
+	}
+
+	if _, err := sys.RunGuarded(); err != nil {
+		res.Completed = completed
+		res.Failure = fmt.Sprintf("watchdog (fault seed %d): %v", c.Faults.Seed, err)
+		return res
+	}
+	res.Completed = completed
+	if completed != len(c.Ops) {
+		res.Failure = fmt.Sprintf("deadlock (fault seed %d): %d/%d ops incomplete; outstanding per node: %s",
+			c.Faults.Seed, len(c.Ops)-completed, len(c.Ops), outstanding(sys))
+		return res
+	}
+	if err := sys.QuiesceCheck(); err != nil {
+		res.Failure = "quiesce: " + err.Error()
+		return res
+	}
+	sys.CheckAll() // panics on violation; recovered above
+	if err := sys.VerifyValues(); err != nil {
+		res.Failure = "lost update: " + err.Error()
+		return res
+	}
+	res.Ok = true
+	return res
+}
+
+// outstanding formats the per-node outstanding-transaction census for
+// deadlock reports.
+func outstanding(sys *core.System) string {
+	s := ""
+	for i, h := range sys.Hubs {
+		if n := h.Outstanding(); n > 0 {
+			if s != "" {
+				s += " "
+			}
+			s += fmt.Sprintf("n%d=%d", i, n)
+		}
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}

@@ -1,0 +1,121 @@
+package fault
+
+import "testing"
+
+// racesMachine is the fixture for the targeted race-window tests: one
+// line homed at node 0, with node 1 as the (remote) producer so the
+// detector can trigger delegation.
+var racesMachine = Machine{
+	Nodes: 4, Lines: 1,
+	L2Lines: 4, RACLines: 4,
+	DelegateEntries: 2,
+	Updates:         true,
+}
+
+// pcSetup emits the write/read rounds that saturate the producer-consumer
+// detector and get line 0 delegated to node 1 (consumer: node 2), spaced
+// far enough apart to serialize. Returns the ops and the next free time.
+func pcSetup() ([]Op, uint64) {
+	var ops []Op
+	t := uint64(0)
+	for i := 0; i < 4; i++ {
+		ops = append(ops, Op{At: t, Node: 1, Line: 0, Write: true})
+		t += 400
+		ops = append(ops, Op{At: t, Node: 2, Line: 0})
+		t += 400
+	}
+	return ops, t
+}
+
+// TestRaceUndelegationVsInflightRead opens the §2.3.3 window: a consumer
+// re-read is steered by its (now stale) consumer-table hint to the
+// producer while the undelegation handshake — held in flight by a
+// targeted Undelegate delay — is still in progress. The producer must
+// answer NackNotHome, the consumer must drop the hint and retry at the
+// real home, and the run must end coherent.
+func TestRaceUndelegationVsInflightRead(t *testing.T) {
+	ops, now := pcSetup()
+	// A consumer read after delegation routes through the home, which
+	// forwards it and installs the new-home hint at node 2.
+	ops = append(ops, Op{At: now, Node: 2, Line: 0})
+	now += 400
+	// A producer write invalidates node 2's copy, so its next read
+	// must go back on the wire (through the stale hint).
+	ops = append(ops, Op{At: now, Node: 1, Line: 0, Write: true})
+	now += 400
+	// A write by node 3 forces undelegation (remote-write reason)...
+	ops = append(ops, Op{At: now, Node: 3, Line: 0, Write: true})
+	// ...and node 2 re-reads through its stale hint while the delayed
+	// Undelegate is still in flight.
+	ops = append(ops, Op{At: now + 300, Node: 2, Line: 0})
+
+	// Interventions are disabled so no speculative push refills node
+	// 2's RAC and short-circuits the hinted re-read.
+	m := racesMachine
+	m.NoIntervention = true
+	c := Case{
+		Note:    "race: undelegation vs in-flight hinted read",
+		Machine: m,
+		Faults: Config{
+			Rules: []Rule{{Type: "Undelegate", Delay: 400}},
+		},
+		Ops: ops,
+	}
+	res := c.Run()
+	if !res.Ok {
+		t.Fatalf("race run failed: %s", res.Failure)
+	}
+	if res.Delegations == 0 {
+		t.Fatal("setup never delegated; the window was not opened")
+	}
+	if res.Undelegations == 0 {
+		t.Fatal("remote write never undelegated")
+	}
+	if res.Nacks == 0 || res.Retries == 0 {
+		t.Fatalf("stale-hint read was never bounced: nacks=%d retries=%d",
+			res.Nacks, res.Retries)
+	}
+}
+
+// TestRaceDelayedInterventionVsRewrite opens the §2.4 window: the
+// delegated producer's delayed intervention pushes speculative updates,
+// a targeted Update delay keeps the pushes in flight, and the producer
+// rewrites the line meanwhile. The write must be deferred behind the
+// outstanding pushes (UpdatesInFlight ordering) and retried, and the run
+// must end coherent.
+func TestRaceDelayedInterventionVsRewrite(t *testing.T) {
+	ops, now := pcSetup()
+	// Consumer read establishing the update set for the next round.
+	ops = append(ops, Op{At: now, Node: 2, Line: 0})
+	now += 400
+	// Producer writes; the intervention delay (default 50 cycles)
+	// fires and pushes updates, which the fault schedule holds in
+	// flight for 600 cycles...
+	ops = append(ops, Op{At: now, Node: 1, Line: 0, Write: true})
+	// ...while the producer rewrites: the write must wait its turn.
+	ops = append(ops, Op{At: now + 200, Node: 1, Line: 0, Write: true})
+	// A final consumer read observes the settled value.
+	ops = append(ops, Op{At: now + 2000, Node: 2, Line: 0})
+
+	c := Case{
+		Note:    "race: delayed-intervention update push vs producer rewrite",
+		Machine: racesMachine,
+		Faults: Config{
+			Rules: []Rule{{Type: "Update", Delay: 600}},
+		},
+		Ops: ops,
+	}
+	res := c.Run()
+	if !res.Ok {
+		t.Fatalf("race run failed: %s", res.Failure)
+	}
+	if res.Delegations == 0 {
+		t.Fatal("setup never delegated; the window was not opened")
+	}
+	if res.UpdatesSent == 0 {
+		t.Fatal("intervention never pushed updates; the window was not opened")
+	}
+	if res.Retries == 0 {
+		t.Fatal("rewrite was never deferred behind the in-flight pushes")
+	}
+}

@@ -1,0 +1,152 @@
+package fault
+
+import "sort"
+
+// Shrink reduces a failing case to a (locally) minimal reproduction while
+// preserving failure, spending at most maxRuns re-executions. It applies,
+// in order: ddmin over the op list (chunked removal down to single ops),
+// fault-schedule simplification (drop rules, zero the probabilistic
+// knobs), machine simplification, and time compaction. Any candidate that
+// stops failing is discarded, so the result is always a failing case.
+// Returns the shrunk case and the number of runs spent.
+func Shrink(c Case, maxRuns int) (Case, int) {
+	runs := 0
+	// try runs cand and adopts it if it still fails, within budget.
+	try := func(cand Case) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		res := cand.Run()
+		return !res.Ok
+	}
+
+	// Pass 1: reduce the op list. Semantic group removal first — drop
+	// every op on one line, or by one node, in a single step — which
+	// collapses independently-failing clusters that element-wise ddmin
+	// gets stuck between; then ddmin chunk removal down to single ops.
+	// Repeat while any of it makes progress.
+	for improved := true; improved; {
+		improved = false
+		for _, key := range []func(Op) int{
+			func(o Op) int { return o.Line },
+			func(o Op) int { return o.Node },
+		} {
+			seen := map[int]bool{}
+			var groups []int
+			for _, op := range c.Ops {
+				if !seen[key(op)] {
+					seen[key(op)] = true
+					groups = append(groups, key(op))
+				}
+			}
+			sort.Ints(groups)
+			if len(groups) < 2 {
+				continue
+			}
+			for _, g := range groups {
+				cand := c
+				cand.Ops = nil
+				for _, op := range c.Ops {
+					if key(op) != g {
+						cand.Ops = append(cand.Ops, op)
+					}
+				}
+				if len(cand.Ops) < len(c.Ops) && try(cand) {
+					c = cand
+					improved = true
+				}
+			}
+		}
+		for size := len(c.Ops) / 2; size >= 1; size /= 2 {
+			for i := 0; i+size <= len(c.Ops); {
+				cand := c
+				cand.Ops = append(append([]Op{}, c.Ops[:i]...), c.Ops[i+size:]...)
+				if try(cand) {
+					c = cand
+					improved = true
+					// don't advance: the next chunk shifted into place
+				} else {
+					i += size
+				}
+			}
+		}
+	}
+
+	// Pass 2: simplify the fault schedule — fewer moving parts in the
+	// reproduction means a clearer bug report.
+	for ri := 0; ri < len(c.Faults.Rules); {
+		cand := c
+		cand.Faults.Rules = append(append([]Rule{}, c.Faults.Rules[:ri]...), c.Faults.Rules[ri+1:]...)
+		if try(cand) {
+			c = cand
+		} else {
+			ri++
+		}
+	}
+	for _, zero := range []func(*Config){
+		func(f *Config) { f.JitterProb, f.JitterMax = 0, 0 },
+		func(f *Config) { f.NackProb, f.NackBudget = 0, 0 },
+		func(f *Config) { f.DelegateCap = 0 },
+	} {
+		cand := c
+		zero(&cand.Faults)
+		if try(cand) {
+			c = cand
+		}
+	}
+
+	// Pass 3: simplify the machine.
+	for _, simp := range []func(*Machine){
+		func(m *Machine) { m.Adaptive = false },
+		func(m *Machine) { m.DetectorWriters = 0 },
+		func(m *Machine) { m.Updates = false },
+		func(m *Machine) { m.InterventionDelay, m.NoIntervention = 0, false },
+		func(m *Machine) { m.Nodes = 3 },
+		func(m *Machine) { m.Nodes = 2 },
+		func(m *Machine) { m.Lines = 1 },
+		func(m *Machine) { m.Lines = 2 },
+	} {
+		cand := c
+		simp(&cand.Machine)
+		if cand.Validate() != nil || !opsFit(cand) {
+			continue
+		}
+		if try(cand) {
+			c = cand
+		}
+	}
+
+	// Pass 4: compact time — cap inter-op gaps so the repro runs in a
+	// short window (and reads naturally).
+	for _, gap := range []uint64{200, 50} {
+		cand := c
+		cand.Ops = append([]Op{}, c.Ops...)
+		var t, prev uint64
+		for i, op := range cand.Ops {
+			d := op.At - prev
+			if d > gap {
+				d = gap
+			}
+			prev = op.At
+			t += d
+			cand.Ops[i].At = t
+		}
+		if try(cand) {
+			c = cand
+		}
+	}
+
+	return c, runs
+}
+
+// opsFit reports whether every op still addresses a valid node and line
+// after a machine simplification.
+func opsFit(c Case) bool {
+	for _, op := range c.Ops {
+		if op.Node >= c.Machine.Nodes || op.Line >= c.Machine.Lines {
+			return false
+		}
+	}
+	return true
+}

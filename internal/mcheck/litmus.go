@@ -75,9 +75,50 @@ func monotonic(obs [][]int8) error {
 	return nil
 }
 
-// StandardLitmusTests returns the suite run by cmd/pccverify: classic
-// per-location ordering shapes, each explored under the full protocol with
-// delegation and updates enabled (and once disabled, as a control).
+// LitmusShape is one scripted multi-node program shape: per node, the
+// sequence of reads and writes it performs on the single contended line.
+// The exhaustive explorer runs each shape over every interleaving; the
+// fault-injection fuzzer reuses the same shapes as case skeletons, so the
+// races the model checker proves safe on tiny configurations are also the
+// races the full simulator is stressed on at scale.
+type LitmusShape struct {
+	Name    string
+	Scripts [][]LitOp
+}
+
+// StandardLitmusShapes returns the classic per-location ordering shapes:
+// CoRR (read-read coherence), CoWR (write-read coherence) and the paper's
+// own producer-consumer round pattern. Node 0 is always the home node.
+func StandardLitmusShapes() []LitmusShape {
+	r := LitOp{}
+	w := LitOp{Write: true}
+	return []LitmusShape{
+		// CoRR: two reads on one node never go backwards while another
+		// node writes twice.
+		{Name: "CoRR", Scripts: [][]LitOp{
+			{},        // node 0 (home) idle
+			{w, w},    // writer
+			{r, r, r}, // reader: monotonic observations
+		}},
+		// CoWR: a node reads its own write at least as new as written.
+		{Name: "CoWR", Scripts: [][]LitOp{
+			{},
+			{w, r, r},
+			{r, w},
+		}},
+		// Producer-consumer rounds: the delegation/update pattern
+		// itself — writer bursts, two consumers poll.
+		{Name: "PC-rounds", Scripts: [][]LitOp{
+			{r, r}, // home also consumes
+			{w, w, w},
+			{r, r, r},
+		}},
+	}
+}
+
+// StandardLitmusTests returns the suite run by cmd/pccverify: the standard
+// shapes, each explored under the full protocol with delegation and
+// updates enabled (and once disabled, as a control).
 func StandardLitmusTests() []func() *LitmusResult {
 	mk := func(name string, deleg bool, scripts [][]LitOp, check func([][]int8) error) func() *LitmusResult {
 		return func() *LitmusResult {
@@ -89,35 +130,15 @@ func StandardLitmusTests() []func() *LitmusResult {
 			return Litmus(name, cfg, check)
 		}
 	}
-	r := LitOp{}
-	w := LitOp{Write: true}
-
 	var tests []func() *LitmusResult
 	for _, deleg := range []bool{false, true} {
 		suffix := "/base"
 		if deleg {
 			suffix = "/delegation+updates"
 		}
-		// CoRR: two reads on one node never go backwards while another
-		// node writes twice.
-		tests = append(tests, mk("CoRR"+suffix, deleg, [][]LitOp{
-			{},        // node 0 (home) idle
-			{w, w},    // writer
-			{r, r, r}, // reader: monotonic observations
-		}, monotonic))
-		// CoWR: a node reads its own write at least as new as written.
-		tests = append(tests, mk("CoWR"+suffix, deleg, [][]LitOp{
-			{},
-			{w, r, r},
-			{r, w},
-		}, monotonic))
-		// Producer-consumer rounds: the delegation/update pattern
-		// itself — writer bursts, two consumers poll.
-		tests = append(tests, mk("PC-rounds"+suffix, deleg, [][]LitOp{
-			{r, r}, // home also consumes
-			{w, w, w},
-			{r, r, r},
-		}, monotonic))
+		for _, sh := range StandardLitmusShapes() {
+			tests = append(tests, mk(sh.Name+suffix, deleg, sh.Scripts, monotonic))
+		}
 	}
 	return tests
 }

@@ -148,6 +148,18 @@ func (t Type) String() string {
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
 
+// ParseType resolves a message-type name (as produced by Type.String) back
+// to its value. Fault schedules and replay corpora name types textually so
+// the JSON stays readable and stable across protocol-enum reordering.
+func ParseType(name string) (Type, bool) {
+	for t, n := range typeNames {
+		if n == name {
+			return Type(t), true
+		}
+	}
+	return 0, false
+}
+
 // CarriesData reports whether messages of this type carry a cache-line
 // payload (and therefore pay the line-size cost on the wire).
 func (t Type) CarriesData() bool {

@@ -49,6 +49,42 @@ func DefaultConfig() Config {
 // Handler receives delivered messages at a node.
 type Handler func(*msg.Message)
 
+// Verdict is a fault-injection decision about a message that reached its
+// destination port (see Chaos).
+type Verdict uint8
+
+const (
+	// Deliver hands the message to the node's handler (the normal path).
+	Deliver Verdict = iota
+	// Bounce converts a request into a NACK back to its requester without
+	// the destination ever seeing it — the spurious-NACK fault. NACKs are
+	// always a legal response to a request in this protocol (the requester
+	// just retries), so bouncing perturbs timing and races but never
+	// correctness. Non-request messages cannot be bounced; a Bounce
+	// verdict for one is treated as Deliver.
+	Bounce
+	// Drop silently discards the message. Losing a coherence packet is
+	// NOT a legal fault on a reliable fabric — Drop exists so tests can
+	// inject known protocol bugs and prove the fuzzer catches them.
+	Drop
+)
+
+// Chaos is the fault-injection hook: a deterministic adversary that
+// perturbs message delivery. Both methods are called from the single
+// simulation goroutine in event order, so a seeded implementation is fully
+// deterministic. A nil Chaos (the default) costs one pointer check per
+// message; the zero-fault path is otherwise untouched.
+type Chaos interface {
+	// Jitter returns extra in-flight cycles for m, sampled once when m is
+	// injected. Returning 0 leaves the deterministic fat-tree timing.
+	// Jitter delays one message without holding back later ones on the
+	// same route, so it is also the bounded-reordering knob: messages can
+	// overtake each other by at most the jitter bound.
+	Jitter(now sim.Time, m *msg.Message) sim.Time
+	// Verdict decides the fate of m as it reaches its destination.
+	Verdict(now sim.Time, m *msg.Message) Verdict
+}
+
 // Network routes coherence messages between hubs with deterministic timing.
 type Network struct {
 	cfg      Config
@@ -59,6 +95,8 @@ type Network struct {
 	ingress  []sim.Time // next cycle each node's input port is free
 	inFlight int
 	Tracer   func(at sim.Time, m *msg.Message) // optional debug hook
+	// Chaos, when non-nil, perturbs delivery for fault-injection runs.
+	Chaos Chaos
 }
 
 // New creates a network over eng collecting into st.
@@ -113,8 +151,8 @@ func (n *Network) Hops(a, b msg.NodeID) int {
 // per-message event footprint flat and allocation free — message delivery
 // is the simulation's single busiest scheduler.
 const (
-	opArrive uint8 = iota // reserve the destination ingress port
-	opDeliver             // hand the message to the node's handler
+	opArrive  uint8 = iota // reserve the destination ingress port
+	opDeliver              // hand the message to the node's handler
 )
 
 // serTime is the NI serialization time for m at the configured port width.
@@ -160,10 +198,36 @@ func (n *Network) Send(m *msg.Message) {
 	depart := maxTime(now, n.egress[m.Src])
 	n.egress[m.Src] = depart + ser
 	arrive := depart + ser + sim.Time(n.Hops(m.Src, m.Dst))*n.cfg.HopLatency
+	if n.Chaos != nil {
+		arrive += n.Chaos.Jitter(now, m)
+	}
 	n.eng.ScheduleMsg(arrive, n, opArrive, m)
 }
 
 func (n *Network) deliver(m *msg.Message) {
+	if n.Chaos != nil {
+		switch n.Chaos.Verdict(n.eng.Now(), m) {
+		case Bounce:
+			if m.Type.IsRequest() {
+				// Reuse the in-flight packet as the NACK: same address,
+				// requester and transaction number, source and
+				// destination swapped to the bouncing port and the
+				// requester. The requester cannot tell this apart from
+				// a busy-home NACK, so it retries — the legal
+				// resolution of every race in this protocol.
+				n.inFlight--
+				from := m.Dst
+				m.Type = msg.Nack
+				m.Src, m.Dst = from, m.Requester
+				n.Send(m)
+				return
+			}
+		case Drop:
+			n.inFlight--
+			n.eng.FreeMsg(m)
+			return
+		}
+	}
 	n.inFlight--
 	h := n.handlers[m.Dst]
 	if h == nil {

@@ -16,6 +16,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"pccsim/internal/msg"
 )
@@ -281,21 +282,80 @@ func (e *Engine) Run() Time {
 	return e.now
 }
 
+// MsgCount is one row of a pending-message census: how many queued events
+// carry a message of the named type. Closure events (Schedule/After) are
+// tallied under "closure".
+type MsgCount struct {
+	Type  string
+	Count int
+}
+
+// ForEachPending visits every queued event in the wheel and the far heap,
+// in no particular order. m is nil for closure events. The visit callback
+// must not schedule or run events. Intended for post-mortem diagnostics
+// (the watchdog census); it walks the live queue without disturbing it.
+func (e *Engine) ForEachPending(visit func(at Time, m *msg.Message)) {
+	for i := range e.buckets {
+		b := &e.buckets[i]
+		for j := b.head; j < len(b.evs); j++ {
+			visit(b.evs[j].at, b.evs[j].m)
+		}
+	}
+	for i := range e.far {
+		visit(e.far[i].at, e.far[i].m)
+	}
+}
+
+// PendingCensus tallies the queued events by message type, most frequent
+// first (ties broken by name). A livelocked protocol shows up here as a
+// census dominated by the message types of the spinning exchange — e.g. a
+// NACK/retry storm is all requests and Nacks.
+func (e *Engine) PendingCensus() []MsgCount {
+	counts := make(map[string]int)
+	e.ForEachPending(func(_ Time, m *msg.Message) {
+		if m == nil {
+			counts["closure"]++
+		} else {
+			counts[m.Type.String()]++
+		}
+	})
+	out := make([]MsgCount, 0, len(counts))
+	for t, c := range counts {
+		out = append(out, MsgCount{Type: t, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
 // RunawayError reports that a guarded run exhausted its step budget before
 // the event queue drained — the signature of a protocol livelock (e.g. an
 // endless NACK/retry cycle). It retains enough queue context to diagnose
-// what the simulation was doing when the watchdog fired.
+// what the simulation was doing when the watchdog fired, including a
+// census of the messages still queued.
 type RunawayError struct {
-	Steps      uint64 // events executed by the guarded run before aborting
-	TotalSteps uint64 // engine-lifetime events (Engine.Steps) at the abort
-	Now        Time   // simulation clock at the abort
-	Pending    int    // events still queued
-	NextAt     Time   // timestamp of the next pending event
+	Steps      uint64     // events executed by the guarded run before aborting
+	TotalSteps uint64     // engine-lifetime events (Engine.Steps) at the abort
+	Now        Time       // simulation clock at the abort
+	Pending    int        // events still queued
+	NextAt     Time       // timestamp of the next pending event
+	Census     []MsgCount // pending events by message type, most frequent first
 }
 
 func (e *RunawayError) Error() string {
-	return fmt.Sprintf("sim: watchdog: %d events executed without draining (%d total this engine, now cycle %d, %d events pending, next at cycle %d)",
+	s := fmt.Sprintf("sim: watchdog: %d events executed without draining (%d total this engine, now cycle %d, %d events pending, next at cycle %d)",
 		e.Steps, e.TotalSteps, uint64(e.Now), e.Pending, uint64(e.NextAt))
+	if len(e.Census) > 0 {
+		s += "; pending:"
+		for _, mc := range e.Census {
+			s += fmt.Sprintf(" %s=%d", mc.Type, mc.Count)
+		}
+	}
+	return s
 }
 
 // RunGuarded executes events until the queue drains, like Run, but aborts
@@ -318,6 +378,7 @@ func (e *Engine) RunGuarded(maxSteps uint64) (Time, error) {
 				Now:        e.now,
 				Pending:    e.Pending(),
 				NextAt:     e.nextAt(),
+				Census:     e.PendingCensus(),
 			}
 		}
 		e.Step()

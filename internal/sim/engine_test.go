@@ -3,8 +3,11 @@ package sim
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
+
+	"pccsim/internal/msg"
 )
 
 func TestScheduleOrdering(t *testing.T) {
@@ -291,3 +294,60 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+func TestPendingCensus(t *testing.T) {
+	e := NewEngine()
+	h := &nullHandler{}
+	for i := 0; i < 3; i++ {
+		m := e.NewMsg()
+		m.Type = msg.GetShared
+		e.AfterMsg(Time(10+i), h, 0, m)
+	}
+	m := e.NewMsg()
+	m.Type = msg.Nack
+	e.AfterMsg(2000, h, 0, m) // lands in the far heap
+	e.Schedule(5, func() {})
+
+	census := e.PendingCensus()
+	want := map[string]int{"GetShared": 3, "Nack": 1, "closure": 1}
+	if len(census) != len(want) {
+		t.Fatalf("census = %+v, want %v", census, want)
+	}
+	for _, mc := range census {
+		if want[mc.Type] != mc.Count {
+			t.Fatalf("census[%s] = %d, want %d", mc.Type, mc.Count, want[mc.Type])
+		}
+	}
+	// Sorted by descending count.
+	if census[0].Type != "GetShared" {
+		t.Fatalf("census not sorted by count: %+v", census)
+	}
+}
+
+func TestRunawayErrorCarriesCensus(t *testing.T) {
+	e := NewEngine()
+	h := &nullHandler{}
+	var spin func()
+	spin = func() {
+		m := e.NewMsg()
+		m.Type = msg.Intervention
+		e.AfterMsg(100_000, h, 0, m) // far enough out to still be queued at abort
+		e.After(3, spin)
+	}
+	e.Schedule(0, spin)
+	_, err := e.RunGuarded(50)
+	re, ok := err.(*RunawayError)
+	if !ok {
+		t.Fatalf("err = %v, want *RunawayError", err)
+	}
+	if len(re.Census) == 0 {
+		t.Fatal("runaway error has no pending-message census")
+	}
+	if s := re.Error(); !strings.Contains(s, "pending:") || !strings.Contains(s, "Intervention=") {
+		t.Fatalf("error string lacks census: %q", s)
+	}
+}
+
+type nullHandler struct{}
+
+func (nullHandler) HandleMsgEvent(op uint8, m *msg.Message) {}
