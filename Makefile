@@ -24,15 +24,19 @@ smoke:
 # full-suite wall time.
 bench:
 	$(GO) test -bench=. -benchmem ./internal/sim/... ./internal/network/... \
-		./internal/directory/... ./internal/addrtab/... ./internal/msg/... .
+		./internal/directory/... ./internal/addrtab/... ./internal/msg/... \
+		./internal/obs/... .
 	$(GO) run ./cmd/pccperf -o BENCH_pr2.json
 
 # One-iteration bench smoke for CI: compiles and runs every benchmark
 # once, then gates the engine and suite numbers against the committed
 # baseline (2x tolerance absorbs runner noise; the gate catches hot-loop
-# regressions, not wobbles).
+# regressions, not wobbles). The ZeroAlloc pass pins the observability
+# layer's disabled path (and the enabled Emit itself) at 0 allocs/op.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x ./internal/sim/... ./internal/network/...
+	$(GO) test -bench=. -benchtime=1x ./internal/sim/... ./internal/network/... ./internal/obs/...
+	$(GO) test -run ZeroAlloc -count=1 ./internal/sim/... ./internal/network/... \
+		./internal/addrtab/... ./internal/obs/...
 	$(GO) run ./cmd/pccperf -check BENCH_pr2.json
 
 # Seeded fuzzing under fault injection. fuzz-smoke is the quick PR gate;

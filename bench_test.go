@@ -23,7 +23,7 @@ func benchOpts() harness.Options { return harness.Options{Nodes: 16, Scale: 1, I
 // BenchmarkTable1SystemConfig measures the cost of building the Table 1
 // machine itself (construction is on every experiment's path).
 func BenchmarkTable1SystemConfig(b *testing.B) {
-	cfg := core.DefaultConfig().WithMechanisms(1024*1024, 1024, true)
+	cfg := core.DefaultConfig().With(core.WithRAC(1024), core.WithDelegation(1024), core.WithSpeculativeUpdates(0))
 	for i := 0; i < b.N; i++ {
 		if _, err := core.NewSystem(cfg); err != nil {
 			b.Fatal(err)
@@ -132,7 +132,7 @@ func BenchmarkFig9InterventionDelay(b *testing.B) {
 			label = "infinite"
 		}
 		b.Run("delay="+label, func(b *testing.B) {
-			cfg := core.DefaultConfig().WithMechanisms(32*1024, 32, true)
+			cfg := core.DefaultConfig().With(core.WithRAC(32), core.WithDelegation(32), core.WithSpeculativeUpdates(0))
 			cfg.Nodes = opts.Nodes
 			cfg.InterventionDelay = d
 			var cycles uint64

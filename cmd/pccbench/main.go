@@ -5,6 +5,8 @@
 //	pccbench -exp all -scale 2          # everything at double problem size
 //	pccbench -exp all -parallel 8       # eight simulation workers
 //	pccbench -exp all -progress         # per-cell progress on stderr
+//	pccbench -config nightly.json       # flag defaults from a JSON file
+//	pccbench -exp fig7 -trace-out t.json  # also export a Perfetto trace
 //
 // Independent simulation cells run concurrently on a worker pool
 // (default GOMAXPROCS; -parallel overrides) and identical cells recurring
@@ -21,6 +23,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pccsim"
+	"pccsim/internal/cli"
 	"pccsim/internal/core"
 	"pccsim/internal/harness"
 	"pccsim/internal/runner"
@@ -31,16 +35,21 @@ import (
 var csvExperiments = []string{"table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation"}
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|table3|fig7|fig8|fig9|fig10|fig11|fig12|ablation|extensions|related|all")
-	nodes := flag.Int("nodes", 16, "processor count")
-	scale := flag.Int("scale", 1, "workload problem-size multiplier")
-	iters := flag.Int("iters", 0, "workload iteration override (0 = defaults)")
-	parallel := flag.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
-	progress := flag.Bool("progress", false, "report per-cell start/finish on stderr")
-	format := flag.String("format", "table", "output format: table|csv|json (csv supports "+joinList(csvExperiments)+"; json runs everything)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
-	flag.Parse()
+	fs := flag.NewFlagSet("pccbench", flag.ExitOnError)
+	exp := fs.String("exp", "all", "experiment: table1|table2|table3|fig7|fig8|fig9|fig10|fig11|fig12|ablation|extensions|related|all")
+	nodes := fs.Int("nodes", 16, "processor count")
+	scale := fs.Int("scale", 1, "workload problem-size multiplier")
+	iters := fs.Int("iters", 0, "workload iteration override (0 = defaults)")
+	parallel := fs.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "report per-cell start/finish on stderr")
+	format := fs.String("format", "table", "output format: table|csv|json (csv supports "+joinList(csvExperiments)+"; json runs everything)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	traceOut := fs.String("trace-out", "", "also run one observed cell and write a Perfetto trace to this file")
+	traceWl := fs.String("trace-workload", "em3d", "workload of the observed cell (-trace-out)")
+	if err := cli.Parse(fs, os.Args[1:]); err != nil {
+		fail(err)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -65,6 +74,12 @@ func main() {
 				fail(err)
 			}
 		}()
+	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, *traceWl, *nodes, *scale, *iters); err != nil {
+			fail(err)
+		}
 	}
 
 	opts := harness.Options{Nodes: *nodes, Scale: *scale, Iters: *iters, Parallel: *parallel}
@@ -146,7 +161,7 @@ func main() {
 		switch name {
 		case "table1":
 			fmt.Fprintln(out, "== Table 1: system configuration (large config shown) ==")
-			cfg := core.DefaultConfig().WithMechanisms(1024*1024, 1024, true)
+			cfg := core.DefaultConfig().With(core.WithRAC(1024), core.WithDelegation(1024), core.WithSpeculativeUpdates(0))
 			cfg.Nodes = *nodes
 			harness.PrintTable1(out, cfg)
 		case "table2":
@@ -242,6 +257,43 @@ func main() {
 	if err := run(*exp); err != nil {
 		fail(err)
 	}
+}
+
+// writeTrace runs one observed cell — the named workload on the paper's
+// 32K-RAC / 32-entry mechanism configuration — and exports its event
+// stream as Perfetto JSON. The observed run is separate from the
+// experiment cells, whose outputs stay byte-identical.
+func writeTrace(path, workloadName string, nodes, scale, iters int) error {
+	cfg := pccsim.DefaultConfig().With(pccsim.WithRAC(32), pccsim.WithDelegation(32),
+		pccsim.WithSpeculativeUpdates(0))
+	cfg.Nodes = nodes
+	m, err := pccsim.New(cfg)
+	if err != nil {
+		return err
+	}
+	es := m.Observe(1 << 18)
+	prog, err := pccsim.BuildWorkload(workloadName,
+		pccsim.WorkloadParams{Nodes: nodes, Scale: scale, Iters: iters})
+	if err != nil {
+		return err
+	}
+	st, err := m.Run(prog)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := es.WritePerfetto(f); err != nil {
+		return err
+	}
+	met := es.Metrics()
+	fmt.Fprintf(os.Stderr, "pccbench: trace %s: %d events, %d msgs / %d bytes (stats: %d / %d) -> %s\n",
+		workloadName, es.Total(), met.TotalMessages(), met.TotalBytes(),
+		st.TotalMessages(), st.TotalBytes(), path)
+	return f.Close()
 }
 
 // progressPrinter reports cell lifecycle events on stderr. It is called

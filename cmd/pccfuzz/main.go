@@ -23,22 +23,27 @@ import (
 	"runtime"
 	"time"
 
+	"pccsim/internal/cli"
 	"pccsim/internal/fault"
 )
 
 func main() {
+	fs := flag.NewFlagSet("pccfuzz", flag.ExitOnError)
 	var (
-		seed    = flag.Int64("seed", 1, "base seed; case i runs with seed+i")
-		n       = flag.Int("n", 0, "number of cases (0 = until -t expires)")
-		budget  = flag.Duration("t", 0, "wall-clock budget (0 = until -n cases)")
-		replay  = flag.String("replay", "", "replay a corpus file or directory instead of fuzzing")
-		outDir  = flag.String("o", "fuzz-failures", "directory for shrunk failure reproductions")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent cases")
-		shrink  = flag.Int("shrink", 2000, "max re-runs spent shrinking each failure (0 = off)")
-		maxFail = flag.Int("max-failures", 5, "stop after this many failures (0 = no limit)")
-		verbose = flag.Bool("v", false, "per-case output during replay")
+		seed    = fs.Int64("seed", 1, "base seed; case i runs with seed+i")
+		n       = fs.Int("n", 0, "number of cases (0 = until -t expires)")
+		budget  = fs.Duration("t", 0, "wall-clock budget (0 = until -n cases)")
+		replay  = fs.String("replay", "", "replay a corpus file or directory instead of fuzzing")
+		outDir  = fs.String("o", "fuzz-failures", "directory for shrunk failure reproductions")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent cases")
+		shrink  = fs.Int("shrink", 2000, "max re-runs spent shrinking each failure (0 = off)")
+		maxFail = fs.Int("max-failures", 5, "stop after this many failures (0 = no limit)")
+		verbose = fs.Bool("v", false, "per-case output during replay")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pccfuzz:", err)
+		os.Exit(2)
+	}
 
 	if *replay != "" {
 		os.Exit(replayPath(*replay, *verbose, *shrink))
@@ -106,6 +111,7 @@ func replayPath(path string, verbose bool, shrinkRuns int) int {
 		if !res.Ok && !info.IsDir() && shrinkRuns > 0 {
 			shrunk, runs := fault.Shrink(c, shrinkRuns)
 			if len(shrunk.Ops) < len(c.Ops) {
+				shrunk.Trace = shrunk.TraceTail(fault.TraceTailEvents)
 				if err := fault.WriteCase(path, shrunk); err != nil {
 					fmt.Fprintf(os.Stderr, "pccfuzz: rewriting %s: %v\n", path, err)
 				} else {

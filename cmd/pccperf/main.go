@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pccsim/internal/cli"
 	"pccsim/internal/harness"
 	"pccsim/internal/msg"
 	"pccsim/internal/runner"
@@ -87,15 +88,19 @@ func benchEngine(total uint64, k int) (uint64, time.Duration) {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr2.json", "output file (- for stdout)")
-	events := flag.Uint64("events", 20_000_000, "engine microbenchmark event count")
-	chains := flag.Int("chains", 64, "concurrent event chains in the engine microbenchmark")
-	parallel := flag.Int("parallel", 0, "suite worker-pool size (0 = GOMAXPROCS)")
-	scale := flag.Int("scale", 1, "suite workload problem-size multiplier")
-	quick := flag.Bool("quick", false, "skip the full suite; engine microbenchmark only")
-	check := flag.String("check", "", "regression-gate mode: compare a fresh run against this baseline file instead of writing")
-	tolerance := flag.Float64("tolerance", 2.0, "with -check: fail if a metric is worse than baseline by more than this factor")
-	flag.Parse()
+	fs := flag.NewFlagSet("pccperf", flag.ExitOnError)
+	out := fs.String("o", "BENCH_pr2.json", "output file (- for stdout)")
+	events := fs.Uint64("events", 20_000_000, "engine microbenchmark event count")
+	chains := fs.Int("chains", 64, "concurrent event chains in the engine microbenchmark")
+	parallel := fs.Int("parallel", 0, "suite worker-pool size (0 = GOMAXPROCS)")
+	scale := fs.Int("scale", 1, "suite workload problem-size multiplier")
+	quick := fs.Bool("quick", false, "skip the full suite; engine microbenchmark only")
+	check := fs.String("check", "", "regression-gate mode: compare a fresh run against this baseline file instead of writing")
+	tolerance := fs.Float64("tolerance", 2.0, "with -check: fail if a metric is worse than baseline by more than this factor")
+	if err := cli.Parse(fs, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pccperf:", err)
+		os.Exit(2)
+	}
 
 	var rep report
 	rep.GoVersion = runtime.Version()

@@ -3,6 +3,13 @@
 //
 //	pccsim -workload em3d -rac 32768 -deledc 32 -updates
 //	pccsim -workload mg -nodes 16 -scale 2 -hop 200
+//
+// The trace subcommand runs one observed benchmark — mechanisms on by
+// default — and writes its protocol event stream as Perfetto/Chrome
+// trace-event JSON (open in ui.perfetto.dev):
+//
+//	pccsim trace -workload em3d > em3d.json
+//	pccsim trace -workload em3d -out em3d.json -delay 100
 package main
 
 import (
@@ -15,11 +22,15 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(traceMain(os.Args[2:]))
+	}
+
 	wl := flag.String("workload", "em3d", "benchmark: "+strings.Join(pccsim.Workloads(), "|"))
 	nodes := flag.Int("nodes", 16, "processor count")
 	scale := flag.Int("scale", 1, "problem-size multiplier")
 	iters := flag.Int("iters", 0, "iteration override (0 = workload default)")
-	racKB := flag.Int("rac", 0, "remote access cache size in bytes (0 = none)")
+	racB := flag.Int("rac", 0, "remote access cache size in bytes (0 = none)")
 	deledc := flag.Int("deledc", 0, "delegate cache entries (0 = delegation off)")
 	updates := flag.Bool("updates", false, "enable speculative updates")
 	delay := flag.Uint64("delay", 50, "intervention delay in cycles")
@@ -31,7 +42,9 @@ func main() {
 
 	cfg := pccsim.DefaultConfig()
 	cfg.Nodes = *nodes
-	cfg = cfg.WithMechanisms(*racKB, *deledc, *updates)
+	cfg.RACBytes = *racB
+	cfg.DelegateEntries = *deledc
+	cfg.EnableUpdates = *updates && *racB > 0 && *deledc > 0
 	cfg.InterventionDelay = pccsim.Time(*delay)
 	cfg.Network.HopLatency = pccsim.Time(*hop)
 	cfg.CheckInvariants = *check
@@ -41,10 +54,10 @@ func main() {
 	var err error
 	if *traceN > 0 {
 		var m *pccsim.Machine
-		m, err = pccsim.NewMachine(cfg)
+		m, err = pccsim.New(cfg)
 		if err == nil {
 			rec = m.Trace(*traceN, pccsim.Addr(*traceLine))
-			st, err = runOn(m, cfg, *wl, *nodes, *scale, *iters)
+			st, err = runOn(m, *wl, *nodes, *scale, *iters)
 		}
 	} else {
 		st, err = pccsim.RunWorkload(cfg, *wl, pccsim.WorkloadParams{
@@ -65,9 +78,76 @@ func main() {
 	}
 }
 
-// runOn builds the workload and executes it on an existing machine (so a
-// tracer can be attached first).
-func runOn(m *pccsim.Machine, cfg pccsim.Config, wl string, nodes, scale, iters int) (*pccsim.Stats, error) {
+// traceMain implements `pccsim trace`: one observed run, exported as
+// Perfetto JSON. Unlike the root command, the mechanisms default ON —
+// the trace exists to show the delegation lifecycle.
+func traceMain(args []string) int {
+	fs := flag.NewFlagSet("pccsim trace", flag.ExitOnError)
+	wl := fs.String("workload", "em3d", "benchmark: "+strings.Join(pccsim.Workloads(), "|"))
+	out := fs.String("out", "-", "output file (- = stdout)")
+	nodes := fs.Int("nodes", 16, "processor count")
+	scale := fs.Int("scale", 1, "problem-size multiplier")
+	iters := fs.Int("iters", 0, "iteration override (0 = workload default)")
+	racKB := fs.Int("rac-kb", 32, "remote access cache size in KB (0 = none)")
+	deledc := fs.Int("deledc", 32, "delegate cache entries (0 = delegation off)")
+	updates := fs.Bool("updates", true, "enable speculative updates")
+	delay := fs.Uint64("delay", 50, "intervention delay in cycles")
+	window := fs.Int("window", 1<<18, "event-window capacity (-1 = retain everything)")
+	fs.Parse(args)
+
+	cfg := pccsim.DefaultConfig()
+	cfg.Nodes = *nodes
+	cfg.RACBytes = *racKB * 1024
+	cfg.DelegateEntries = *deledc
+	cfg.EnableUpdates = *updates && *racKB > 0 && *deledc > 0
+	cfg.InterventionDelay = pccsim.Time(*delay)
+
+	m, err := pccsim.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pccsim trace:", err)
+		return 1
+	}
+	es := m.Observe(*window)
+	st, err := runOn(m, *wl, *nodes, *scale, *iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pccsim trace:", err)
+		return 1
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccsim trace:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := es.WritePerfetto(w); err != nil {
+		fmt.Fprintln(os.Stderr, "pccsim trace:", err)
+		return 1
+	}
+
+	// Cross-check: the observer's per-class byte accounting must equal
+	// the run's Stats traffic counters exactly — both count every packet
+	// at network injection.
+	met := es.Metrics()
+	if met.TotalMessages() != st.TotalMessages() || met.TotalBytes() != st.TotalBytes() {
+		fmt.Fprintf(os.Stderr, "pccsim trace: BUG: observer saw %d msgs / %d bytes, stats %d / %d\n",
+			met.TotalMessages(), met.TotalBytes(), st.TotalMessages(), st.TotalBytes())
+		return 1
+	}
+	fmt.Fprintf(os.Stderr,
+		"pccsim trace: %s: %d events (%d retained), %d msgs / %d bytes (matches stats), %d delegations (%d complete), avg %.2f hops\n",
+		*wl, es.Total(), len(es.Events()), met.TotalMessages(), met.TotalBytes(),
+		met.Delegations, met.CompleteDelegations(), met.AvgHops())
+	return 0
+}
+
+// runOn builds the workload and executes it on an existing machine (so an
+// observer or tracer can be attached first).
+func runOn(m *pccsim.Machine, wl string, nodes, scale, iters int) (*pccsim.Stats, error) {
 	prog, err := pccsim.BuildWorkload(wl, pccsim.WorkloadParams{Nodes: nodes, Scale: scale, Iters: iters})
 	if err != nil {
 		return nil, err

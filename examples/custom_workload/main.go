@@ -70,7 +70,7 @@ func main() {
 		cfg   pccsim.Config
 	}{
 		{"baseline write-invalidate", cfg},
-		{"with delegation + updates", cfg.WithMechanisms(32*1024, 32, true)},
+		{"with delegation + updates", cfg.With(pccsim.WithRAC(32), pccsim.WithDelegation(32), pccsim.WithSpeculativeUpdates(0))},
 	} {
 		m, err := pccsim.NewMachine(mech.cfg)
 		if err != nil {

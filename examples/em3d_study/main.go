@@ -35,17 +35,17 @@ func main() {
 			100*float64(st.RemoteMisses())/float64(baseline.RemoteMisses()))
 	}
 	show("base", baseline)
-	show("32K RAC", run(base.WithMechanisms(32*1024, 0, false)))
-	show("32-entry deledc & 32K RAC", run(base.WithMechanisms(32*1024, 32, true)))
-	show("1K-entry deledc & 1M RAC", run(base.WithMechanisms(1024*1024, 1024, true)))
-	show("1K-entry deledc & 32K RAC", run(base.WithMechanisms(32*1024, 1024, true)))
-	show("32-entry deledc & 1M RAC", run(base.WithMechanisms(1024*1024, 32, true)))
+	show("32K RAC", run(base.With(pccsim.WithRAC(32))))
+	show("32-entry deledc & 32K RAC", run(base.With(pccsim.WithRAC(32), pccsim.WithDelegation(32), pccsim.WithSpeculativeUpdates(0))))
+	show("1K-entry deledc & 1M RAC", run(base.With(pccsim.WithRAC(1024), pccsim.WithDelegation(1024), pccsim.WithSpeculativeUpdates(0))))
+	show("1K-entry deledc & 32K RAC", run(base.With(pccsim.WithRAC(32), pccsim.WithDelegation(1024), pccsim.WithSpeculativeUpdates(0))))
+	show("32-entry deledc & 1M RAC", run(base.With(pccsim.WithRAC(1024), pccsim.WithDelegation(32), pccsim.WithSpeculativeUpdates(0))))
 
 	fmt.Println()
 	fmt.Println("sensitivity to intervention delay (normalized to 5 cycles, Figure 9)")
 	var first uint64
 	for _, d := range []pccsim.Time{5, 50, 500, 5000, 50000, pccsim.NoIntervention} {
-		cfg := base.WithMechanisms(32*1024, 32, true)
+		cfg := base.With(pccsim.WithRAC(32), pccsim.WithDelegation(32), pccsim.WithSpeculativeUpdates(0))
 		cfg.InterventionDelay = d
 		st := run(cfg)
 		if first == 0 {

@@ -75,12 +75,12 @@ func main() {
 
 	// Delegation only: after 3 rounds the line is delegated and consumer
 	// reads go directly to the producer (2 hops).
-	show("delegation", run(cfg.WithMechanisms(32*1024, 32, false), 12))
+	show("delegation", run(cfg.With(pccsim.WithRAC(32), pccsim.WithDelegation(32)), 12))
 
 	// Delegation + speculative updates: after each write burst the hub
 	// downgrades the line and pushes it into the consumers' RACs; their
 	// reads become local.
-	show("delegation + updates", run(cfg.WithMechanisms(32*1024, 32, true), 12))
+	show("delegation + updates", run(cfg.With(pccsim.WithRAC(32), pccsim.WithDelegation(32), pccsim.WithSpeculativeUpdates(0)), 12))
 
 	fmt.Println()
 	fmt.Println("miss classes: 3-hop = via home + owner; 2-hop = direct to (delegated) home;")

@@ -24,7 +24,7 @@ func main() {
 
 	// The same machine with a 32 KB RAC, a 32-entry delegate cache, and
 	// speculative updates — the paper's small configuration.
-	mech := base.WithMechanisms(32*1024, 32, true)
+	mech := base.With(pccsim.WithRAC(32), pccsim.WithDelegation(32), pccsim.WithSpeculativeUpdates(0))
 	mechStats, err := pccsim.RunWorkload(mech, workload, params)
 	if err != nil {
 		log.Fatal(err)

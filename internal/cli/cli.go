@@ -1,0 +1,71 @@
+// Package cli is the shared configuration loader of the pccsim command
+// line tools. Every tool keeps its own flag set; this package adds one
+// convention on top: a -config flag naming a JSON file whose keys are
+// flag names and whose values become flag defaults. Precedence is
+//
+//	explicit command-line flag  >  config file  >  built-in default
+//
+// so a team can commit sweep configurations ("nightly.json" etc.) and
+// still override single knobs per invocation.
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Parse registers the -config flag on fs, parses args, and — when a
+// config file was named — applies its entries to every flag not
+// explicitly set on the command line. Unknown keys in the file are
+// errors: they are almost always typos of real flag names.
+func Parse(fs *flag.FlagSet, args []string) error {
+	config := fs.String("config", "", "JSON file of flag defaults (explicit flags override)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *config == "" {
+		return nil
+	}
+	return applyFile(fs, *config)
+}
+
+// applyFile loads path and sets each entry on fs unless that flag was
+// given explicitly on the command line.
+func applyFile(fs *flag.FlagSet, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("cli: %w", err)
+	}
+	var entries map[string]any
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("cli: %s: %w", path, err)
+	}
+
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	for name, value := range entries {
+		if fs.Lookup(name) == nil {
+			return fmt.Errorf("cli: %s: no such flag -%s", path, name)
+		}
+		if explicit[name] || name == "config" {
+			continue
+		}
+		if err := fs.Set(name, render(value)); err != nil {
+			return fmt.Errorf("cli: %s: flag -%s: %w", path, name, err)
+		}
+	}
+	return nil
+}
+
+// render converts a decoded JSON value to the string form flag.Set
+// expects. JSON numbers decode as float64; integral ones must print
+// without an exponent or decimal point so integer flags accept them.
+func render(v any) string {
+	if f, ok := v.(float64); ok && f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprint(v)
+}

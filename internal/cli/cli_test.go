@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newFS() (*flag.FlagSet, *int, *string, *bool, *time.Duration) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	n := fs.Int("nodes", 16, "")
+	name := fs.String("workload", "em3d", "")
+	on := fs.Bool("updates", false, "")
+	d := fs.Duration("budget", 0, "")
+	return fs, n, name, on, d
+}
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFileSetsDefaults(t *testing.T) {
+	fs, n, name, on, d := newFS()
+	path := writeConfig(t, `{"nodes": 8, "workload": "ocean", "updates": true, "budget": "2m"}`)
+	if err := Parse(fs, []string{"-config", path}); err != nil {
+		t.Fatal(err)
+	}
+	if *n != 8 || *name != "ocean" || !*on || *d != 2*time.Minute {
+		t.Fatalf("config not applied: nodes=%d workload=%q updates=%v budget=%v", *n, *name, *on, *d)
+	}
+}
+
+func TestExplicitFlagsWin(t *testing.T) {
+	fs, n, name, _, _ := newFS()
+	path := writeConfig(t, `{"nodes": 8, "workload": "ocean"}`)
+	if err := Parse(fs, []string{"-nodes", "4", "-config", path}); err != nil {
+		t.Fatal(err)
+	}
+	if *n != 4 {
+		t.Fatalf("explicit -nodes overridden by file: %d", *n)
+	}
+	if *name != "ocean" {
+		t.Fatalf("file default lost: %q", *name)
+	}
+}
+
+func TestUnknownKeyRejected(t *testing.T) {
+	fs, _, _, _, _ := newFS()
+	path := writeConfig(t, `{"nodez": 8}`)
+	err := Parse(fs, []string{"-config", path})
+	if err == nil || !strings.Contains(err.Error(), "nodez") {
+		t.Fatalf("typoed key accepted: %v", err)
+	}
+}
+
+func TestNoConfigIsPlainParse(t *testing.T) {
+	fs, n, _, _, _ := newFS()
+	if err := Parse(fs, []string{"-nodes", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if *n != 2 {
+		t.Fatalf("plain parse broken: %d", *n)
+	}
+}
+
+func TestBadValueReported(t *testing.T) {
+	fs, _, _, _, _ := newFS()
+	path := writeConfig(t, `{"nodes": "many"}`)
+	err := Parse(fs, []string{"-config", path})
+	if err == nil || !strings.Contains(err.Error(), "-nodes") {
+		t.Fatalf("bad value accepted: %v", err)
+	}
+}

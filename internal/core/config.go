@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"pccsim/internal/network"
@@ -142,9 +143,68 @@ func DefaultConfig() Config {
 	}
 }
 
+// Option mutates a Config; see With. Options are the composable way to
+// size the paper's mechanisms — each one enables exactly one feature, so
+// ablations read as the presence or absence of an option rather than as
+// positional argument puzzles.
+type Option func(*Config)
+
+// WithRAC enables the remote access cache with the given capacity in
+// kilobytes (the paper's §2.4 consumer-side structure; Figure 7 sizes it
+// at 32 KB). For capacities that are not whole kilobytes, set
+// Config.RACBytes directly.
+func WithRAC(kiloBytes int) Option {
+	return func(c *Config) { c.RACBytes = kiloBytes * 1024 }
+}
+
+// WithDelegation enables directory delegation (§2.3) with a producer
+// table of the given entry count. Delegation requires a RAC (the producer
+// pins delegated lines there): combine with WithRAC or Validate fails.
+func WithDelegation(entries int) Option {
+	return func(c *Config) { c.DelegateEntries = entries }
+}
+
+// WithSpeculativeUpdates enables speculative updates driven by delayed
+// interventions (§2.4). delay is the intervention interval in cycles:
+// 0 keeps the current setting (default 50), NoIntervention disables the
+// timer (the "infinite" point of Figure 9). Requires delegation and a
+// RAC.
+func WithSpeculativeUpdates(delay sim.Time) Option {
+	return func(c *Config) {
+		c.EnableUpdates = true
+		if delay != 0 {
+			c.InterventionDelay = delay
+		}
+	}
+}
+
+// WithSelfInvalidation selects the related-work baseline (dynamic
+// self-invalidation) instead of delegation/updates.
+func WithSelfInvalidation() Option {
+	return func(c *Config) { c.SelfInvalidate = true }
+}
+
+// WithAdaptiveDelay enables the §5 per-line learned intervention delay.
+func WithAdaptiveDelay() Option {
+	return func(c *Config) { c.AdaptiveDelay = true }
+}
+
+// With returns a copy of c with the options applied, in order.
+func (c Config) With(opts ...Option) Config {
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
 // WithMechanisms returns a copy of c with the paper's mechanisms sized as
 // given: racBytes of RAC, delegateEntries of delegate cache, and updates
 // enabled if both are nonzero. This is the configuration axis of Figure 7.
+//
+// Deprecated: the positional triple is easy to misread. Use the
+// functional options instead:
+//
+//	cfg.With(WithRAC(32), WithDelegation(32), WithSpeculativeUpdates(0))
 func (c Config) WithMechanisms(racBytes, delegateEntries int, updates bool) Config {
 	c.RACBytes = racBytes
 	c.DelegateEntries = delegateEntries
@@ -152,32 +212,37 @@ func (c Config) WithMechanisms(racBytes, delegateEntries int, updates bool) Conf
 	return c
 }
 
-// Validate checks the configuration for consistency.
+// ErrBadConfig is wrapped by every Validate failure, so callers can class
+// configuration mistakes with errors.Is without matching message text.
+var ErrBadConfig = errors.New("core: invalid configuration")
+
+// Validate checks the configuration for consistency. All failures wrap
+// ErrBadConfig.
 func (c *Config) Validate() error {
 	if c.Nodes < 1 || c.Nodes > 64 {
-		return fmt.Errorf("core: Nodes = %d, want 1..64", c.Nodes)
+		return fmt.Errorf("%w: Nodes = %d, want 1..64", ErrBadConfig, c.Nodes)
 	}
 	if c.L2LineBytes <= 0 || c.L1LineBytes <= 0 || c.L2LineBytes%c.L1LineBytes != 0 {
-		return fmt.Errorf("core: L2 line (%d) must be a multiple of L1 line (%d)",
-			c.L2LineBytes, c.L1LineBytes)
+		return fmt.Errorf("%w: L2 line (%d) must be a multiple of L1 line (%d)",
+			ErrBadConfig, c.L2LineBytes, c.L1LineBytes)
 	}
 	if c.DelegateEntries > 0 && c.RACBytes == 0 {
-		return fmt.Errorf("core: delegation requires a RAC (the producer pins delegated lines there)")
+		return fmt.Errorf("%w: delegation requires a RAC (the producer pins delegated lines there)", ErrBadConfig)
 	}
 	if c.EnableUpdates && (c.DelegateEntries == 0 || c.RACBytes == 0) {
-		return fmt.Errorf("core: speculative updates require delegation and a RAC")
+		return fmt.Errorf("%w: speculative updates require delegation and a RAC", ErrBadConfig)
 	}
 	if c.DirCacheEntries <= 0 {
-		return fmt.Errorf("core: DirCacheEntries must be positive")
+		return fmt.Errorf("%w: DirCacheEntries must be positive", ErrBadConfig)
 	}
 	if c.MaxStores <= 0 {
-		return fmt.Errorf("core: MaxStores must be positive")
+		return fmt.Errorf("%w: MaxStores must be positive", ErrBadConfig)
 	}
 	if c.DetectorWriters < 0 || c.DetectorWriters > 2 {
-		return fmt.Errorf("core: DetectorWriters = %d, want 0 (default), 1 or 2", c.DetectorWriters)
+		return fmt.Errorf("%w: DetectorWriters = %d, want 0 (default), 1 or 2", ErrBadConfig, c.DetectorWriters)
 	}
 	if c.SelfInvalidate && (c.DelegateEntries > 0 || c.EnableUpdates) {
-		return fmt.Errorf("core: SelfInvalidate is an alternative baseline; disable delegation/updates")
+		return fmt.Errorf("%w: SelfInvalidate is an alternative baseline; disable delegation/updates", ErrBadConfig)
 	}
 	return nil
 }

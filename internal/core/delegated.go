@@ -7,6 +7,7 @@ import (
 	"pccsim/internal/delegate"
 	"pccsim/internal/directory"
 	"pccsim/internal/msg"
+	"pccsim/internal/obs"
 	"pccsim/internal/stats"
 )
 
@@ -131,6 +132,10 @@ func (h *Hub) delegatedRead(req *msg.Message, pe *delegate.ProducerEntry) {
 		// intervention timer will still push updates to consumers
 		// that have not re-read (fireIntervention's Shared arm).
 		h.st.Interventions++
+		if o := h.sys.Obs; o != nil {
+			o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindIntervention, Node: h.id,
+				Addr: req.Addr, Arg: uint64(h.id), Arg2: 2})
+		}
 		h.adaptDelayDown(e) // the delay was too long for this line
 		v := h.downgradeLocal(req.Addr, e)
 		e.State = directory.Shared
@@ -219,6 +224,10 @@ func (h *Hub) installDelegation(m *msg.Message) {
 		if evicted != nil {
 			panic("core: producer table evicted after making room")
 		}
+		if o := h.sys.Obs; o != nil {
+			o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindDelegateInstall, Node: h.id,
+				Addr: m.Addr, Arg: uint64(h.prod.Len())})
+		}
 		// Pin the surrogate-memory RAC entry (§2.3.1: "pins the
 		// corresponding RAC entry so that there is a place to put the
 		// data should it be flushed from the processor caches").
@@ -294,6 +303,10 @@ func (h *Hub) undelegate(pe *delegate.ProducerEntry, reason stats.UndelegateReas
 
 	h.prod.Remove(pe.Addr)
 	h.st.RecordUndelegation(reason)
+	if o := h.sys.Obs; o != nil {
+		o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindUndelegate, Node: h.id,
+			Addr: pe.Addr, Arg: uint64(reason)})
+	}
 
 	um := h.newMsg()
 	*um = msg.Message{
@@ -321,6 +334,10 @@ func (h *Hub) undelegateNoEntry(addr msg.Addr, version uint64) {
 		holders = holders.Set(h.id)
 	}
 	h.st.RecordUndelegation(stats.UndelCapacity)
+	if o := h.sys.Obs; o != nil {
+		o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindUndelegate, Node: h.id,
+			Addr: addr, Arg: uint64(stats.UndelCapacity), Arg2: 1})
+	}
 	h.emitAfter(h.cfg.DirLatency, msg.Message{
 		Type: msg.Undelegate, Src: h.id, Dst: h.home(addr), Addr: addr,
 		Requester: msg.None, Version: version, Dirty: true, Sharers: holders,

@@ -6,7 +6,7 @@ import (
 	"testing"
 
 	"pccsim/internal/msg"
-	"pccsim/internal/sim"
+	"pccsim/internal/obs"
 )
 
 // TestGoldenTranscript locks the protocol's canonical message sequence for
@@ -19,9 +19,13 @@ func TestGoldenTranscript(t *testing.T) {
 	cfg.Nodes = 4
 	sys := newTestSystem(t, cfg)
 	var log []string
-	sys.Net.Tracer = func(at sim.Time, m *msg.Message) {
-		log = append(log, fmt.Sprintf("%s %d->%d", m.Type, m.Src, m.Dst))
+	sink := obs.NewSink(0)
+	sink.Tap = func(e obs.Event) {
+		if e.Kind == obs.KindSend {
+			log = append(log, fmt.Sprintf("%s %d->%d", e.Msg.Type, e.Msg.Src, e.Msg.Dst))
+		}
 	}
+	sys.AttachObs(sink)
 	addr := msg.Addr(0x4000)
 	access(t, sys, 3, addr, false) // home = 3
 	for round := 0; round < 4; round++ {

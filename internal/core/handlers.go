@@ -197,7 +197,7 @@ func (h *Hub) ownerInvalidate(m *msg.Message) {
 		if rl := h.rc.Lookup(m.Addr); rl != nil && !rl.Pinned {
 			v := h.rc.Invalidate(m.Addr)
 			if v.FromUpdate && !v.Consumed {
-				h.st.UpdatesWasted++
+				h.noteUpdateWasted(m.Addr)
 			}
 		}
 	}
@@ -280,7 +280,7 @@ func (h *Hub) consumerUpdate(m *msg.Message) {
 
 	if ms := h.mshr(m.Addr); ms != nil {
 		if !ms.wantExcl {
-			h.st.UpdatesUseful++
+			h.noteUpdateUseful(m.Addr, m.Version)
 			ms.dataReady = true
 			ms.version = m.Version
 			ms.fillState = cache.Shared
@@ -304,12 +304,12 @@ func (h *Hub) consumerUpdate(m *msg.Message) {
 		return // already re-read it: the push was unnecessary
 	}
 	if h.rc == nil {
-		h.st.UpdatesWasted++
+		h.noteUpdateWasted(m.Addr)
 		return
 	}
 	rl, rv, ok := h.rc.Insert(m.Addr, cache.Shared)
 	if !ok {
-		h.st.UpdatesWasted++
+		h.noteUpdateWasted(m.Addr)
 		return
 	}
 	rl.Version = m.Version

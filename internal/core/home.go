@@ -6,6 +6,7 @@ import (
 	"pccsim/internal/cache"
 	"pccsim/internal/directory"
 	"pccsim/internal/msg"
+	"pccsim/internal/obs"
 	"pccsim/internal/predictor"
 	"pccsim/internal/sim"
 )
@@ -90,6 +91,10 @@ func (h *Hub) homeRead(req *msg.Message, e *directory.Entry, det *predictor.Dete
 		e.PendingExcl = false
 		e.PendingTxn = req.Txn
 		h.st.Interventions++
+		if o := h.sys.Obs; o != nil {
+			o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindIntervention, Node: h.id,
+				Addr: req.Addr, Arg: uint64(e.Owner), Arg2: 0})
+		}
 		h.emitAfter(h.cfg.DirLatency, msg.Message{
 			Type: msg.Intervention, Src: h.id, Dst: e.Owner, Addr: req.Addr,
 			Requester: req.Requester, Txn: req.Txn, GrantTxn: e.OwnerTxn,
@@ -135,6 +140,9 @@ func (h *Hub) homeWrite(req *msg.Message, e *directory.Entry, det *predictor.Det
 		if marked := det.OnWrite(req.Requester); marked {
 			e.PC = true
 			h.st.PCLinesMarked++
+			if o := h.sys.Obs; o != nil {
+				o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindPCDetect, Node: h.id, Addr: req.Addr})
+			}
 		}
 		sharers := e.Sharers.Clear(req.Requester)
 		if det.IsProducerConsumer() {
@@ -145,6 +153,10 @@ func (h *Hub) homeWrite(req *msg.Message, e *directory.Entry, det *predictor.Det
 		// pattern with a remote producer hands the directory to it.
 		if h.cfg.DelegateEntries > 0 && det.IsProducerConsumer() && req.Requester != h.id {
 			h.st.Delegations++
+			if o := h.sys.Obs; o != nil {
+				o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindDelegate, Node: h.id,
+					Addr: req.Addr, Arg: uint64(req.Requester)})
+			}
 			e.State = directory.Dele
 			e.Owner = req.Requester
 			h.invalidateSharers(req.Addr, sharers, req.Requester, req.Txn)
@@ -376,6 +388,10 @@ func (h *Hub) homeUndelegate(m *msg.Message) {
 	if e.State != directory.Dele || e.Owner != m.Src {
 		panic(fmt.Sprintf("core: Undelegate from %d in state %s owner=%d", m.Src, e.State, e.Owner))
 	}
+	if o := h.sys.Obs; o != nil {
+		o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindUndelegateCommit, Node: h.id,
+			Addr: m.Addr, Arg: uint64(m.Src)})
+	}
 	e.MemVersion = m.Version
 	e.Sharers = m.Sharers
 	e.Owner = msg.None
@@ -443,6 +459,10 @@ func (h *Hub) fireIntervention(addr msg.Addr, e *directory.Entry, seq uint64, de
 	switch {
 	case e.State == directory.Excl && e.Owner == h.id:
 		h.st.Interventions++
+		if o := h.sys.Obs; o != nil {
+			o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindIntervention, Node: h.id,
+				Addr: addr, Arg: uint64(h.id), Arg2: 1})
+		}
 		if l2l := h.l2.Lookup(addr); l2l != nil && l2l.State == cache.Excl {
 			l2l.State = cache.Shared
 			v = l2l.Version
@@ -555,6 +575,10 @@ func (h *Hub) pushUpdates(addr msg.Addr, e *directory.Entry, targets msg.Vector,
 		c := vec.Lowest()
 		h.st.UpdatesSent++
 		e.UpdatesInFlight++
+		if o := h.sys.Obs; o != nil {
+			o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindUpdatePush, Node: h.id,
+				Addr: addr, Arg: uint64(c), Arg2: v})
+		}
 		h.emit(msg.Message{
 			Type: msg.Update, Src: h.id, Dst: c, Addr: addr, Requester: c, Version: v,
 		})

@@ -10,6 +10,7 @@ import (
 	"pccsim/internal/mem"
 	"pccsim/internal/msg"
 	"pccsim/internal/network"
+	"pccsim/internal/obs"
 	"pccsim/internal/rac"
 	"pccsim/internal/sim"
 	"pccsim/internal/stats"
@@ -208,6 +209,24 @@ func (h *Hub) emitAfter(d sim.Time, tmpl msg.Message) {
 	h.sendAfter(d, m)
 }
 
+// noteUpdateUseful counts a speculative update consumed by a read, in
+// both the run statistics and the observability stream.
+func (h *Hub) noteUpdateUseful(addr msg.Addr, version uint64) {
+	h.st.UpdatesUseful++
+	if o := h.sys.Obs; o != nil {
+		o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindUpdateHit, Node: h.id, Addr: addr, Arg2: version})
+	}
+}
+
+// noteUpdateWasted counts a speculative update that died unread
+// (overwritten, evicted, or refused for lack of RAC space).
+func (h *Hub) noteUpdateWasted(addr msg.Addr) {
+	h.st.UpdatesWasted++
+	if o := h.sys.Obs; o != nil {
+		o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindUpdateWaste, Node: h.id, Addr: addr})
+	}
+}
+
 // line returns the L2-line-aligned address of addr.
 func (h *Hub) line(addr msg.Addr) msg.Addr { return h.l2.Align(addr) }
 
@@ -292,7 +311,7 @@ func (h *Hub) serveFromRAC(addr, line msg.Addr, rl *rac.Line, write bool, done f
 	if !write {
 		if rl.FromUpdate && !rl.Consumed {
 			rl.Consumed = true
-			h.st.UpdatesUseful++
+			h.noteUpdateUseful(line, rl.Version)
 		}
 		st, v, dirty, g := rl.State, rl.Version, rl.Dirty, rl.Grant
 		if !rl.Pinned {
@@ -329,7 +348,7 @@ func (h *Hub) serveFromRAC(addr, line msg.Addr, rl *rac.Line, write bool, done f
 		// Promote to L2 Shared, then upgrade for ownership.
 		if rl.FromUpdate && !rl.Consumed {
 			// The producer pushed data we are about to overwrite.
-			h.st.UpdatesWasted++
+			h.noteUpdateWasted(line)
 		}
 		v, dirty := rl.Version, rl.Dirty
 		h.rc.Invalidate(line)
@@ -363,7 +382,7 @@ func (h *Hub) fillL2(line msg.Addr, st cache.State, version uint64, dirty bool) 
 		if rl := h.rc.Lookup(line); rl != nil && !rl.Pinned {
 			v := h.rc.Invalidate(line)
 			if v.FromUpdate && !v.Consumed {
-				h.st.UpdatesWasted++
+				h.noteUpdateWasted(line)
 			}
 		}
 	}
@@ -446,7 +465,7 @@ func (h *Hub) handleRACVictim(v rac.Victim) {
 		return
 	}
 	if v.FromUpdate && !v.Consumed {
-		h.st.UpdatesWasted++
+		h.noteUpdateWasted(v.Addr)
 	}
 	if v.State == cache.Excl {
 		h.emit(msg.Message{
@@ -465,6 +484,14 @@ func (h *Hub) startMiss(addr, line msg.Addr, write bool, done func()) {
 	}
 	m := &mshr{addr: line, wantExcl: write, done: done, acksNeeded: -1}
 	h.mshrs.Put(uint64(line), m)
+	if o := h.sys.Obs; o != nil {
+		var w uint64
+		if write {
+			w = 1
+		}
+		o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindMissStart, Node: h.id, Addr: line,
+			Arg: uint64(h.mshrs.Len()), Arg2: w})
+	}
 	h.issue(m)
 }
 
@@ -542,7 +569,12 @@ func (h *Hub) tryComplete(m *mshr) {
 		return
 	}
 	h.mshrs.Delete(uint64(m.addr))
-	h.st.RecordMiss(m.class())
+	cls := m.class()
+	h.st.RecordMiss(cls)
+	if o := h.sys.Obs; o != nil {
+		o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindMissEnd, Node: h.id, Addr: m.addr,
+			Arg: uint64(h.mshrs.Len()), Arg2: uint64(cls)})
+	}
 
 	if m.invalidated && !m.wantExcl {
 		// Use-once fill: satisfy the load without caching stale data.

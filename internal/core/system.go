@@ -6,6 +6,7 @@ import (
 	"pccsim/internal/mem"
 	"pccsim/internal/msg"
 	"pccsim/internal/network"
+	"pccsim/internal/obs"
 	"pccsim/internal/sim"
 	"pccsim/internal/stats"
 )
@@ -32,6 +33,12 @@ type System struct {
 	Hubs []*Hub
 	// Observer optionally watches the event loop; see Observer.
 	Observer Observer
+	// Obs, when non-nil, receives structured protocol events from every
+	// hub (miss lifecycle, delegation lifecycle, speculative-update
+	// outcomes). Attach it with AttachObs so the interconnect emits into
+	// the same sink; a nil Obs costs one pointer check per potential
+	// event.
+	Obs *obs.Sink
 	// NodeStats holds each node's counters; Aggregate folds them.
 	NodeStats []*stats.Stats
 	// NetStats accumulates interconnect traffic (shared by all sends).
@@ -71,6 +78,23 @@ func MustNewSystem(cfg Config) *System {
 		panic(err)
 	}
 	return s
+}
+
+// AttachObs points both the hubs and the interconnect at sink. If a sink
+// was already attached and had a Tap (e.g. a trace recorder riding it),
+// the old tap is chained onto the new sink so no consumer goes deaf.
+func (s *System) AttachObs(sink *obs.Sink) {
+	if prev := s.Obs; prev != nil && prev.Tap != nil && prev != sink {
+		pt := prev.Tap
+		if sink.Tap == nil {
+			sink.Tap = pt
+		} else {
+			nt := sink.Tap
+			sink.Tap = func(e obs.Event) { nt(e); pt(e) }
+		}
+	}
+	s.Obs = sink
+	s.Net.Obs = sink
 }
 
 // Access issues one memory operation on node n's hub.

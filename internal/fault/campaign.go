@@ -145,6 +145,9 @@ func RunCampaign(opts CampaignOpts) CampaignResult {
 				f.Shrunk, f.ShrinkRuns = Shrink(o.c, opts.ShrinkRuns)
 			}
 			f.ShrunkOps = len(f.Shrunk.Ops)
+			// One deterministic replay of the minimal case, observed:
+			// the repro file carries the protocol's dying moments.
+			f.Shrunk.Trace = f.Shrunk.TraceTail(TraceTailEvents)
 			cr.Failures = append(cr.Failures, f)
 		}
 	}

@@ -133,3 +133,33 @@ func TestWatchdogReportsCensus(t *testing.T) {
 		t.Fatalf("failure lacks pending-message census: %q", res.Failure)
 	}
 }
+
+// TestTraceTail replays a failing case observed and checks the captured
+// window renders the protocol's final events — the NACK/retry churn the
+// livelock above is made of.
+func TestTraceTail(t *testing.T) {
+	c := Case{
+		Seed: 9,
+		Machine: Machine{
+			Nodes: 3, Lines: 1, L2Lines: 4,
+		},
+		Faults: Config{
+			Seed:  9,
+			Rules: []Rule{{Type: "GetShared", NackEvery: 1}},
+		},
+		Ops: []Op{{At: 0, Node: 1, Line: 0}},
+	}
+	tail := c.TraceTail(16)
+	if len(tail) != 16 {
+		t.Fatalf("tail kept %d lines, want 16", len(tail))
+	}
+	sawSend := false
+	for _, line := range tail {
+		if strings.Contains(line, "send ") && strings.Contains(line, "line 0x10000000") {
+			sawSend = true
+		}
+	}
+	if !sawSend {
+		t.Fatalf("tail shows no message sends:\n%s", strings.Join(tail, "\n"))
+	}
+}

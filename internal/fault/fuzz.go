@@ -6,7 +6,9 @@ import (
 
 	"pccsim/internal/core"
 	"pccsim/internal/msg"
+	"pccsim/internal/obs"
 	"pccsim/internal/sim"
+	"pccsim/internal/stats"
 )
 
 // Machine is the reduced configuration space the fuzzer explores: tiny
@@ -57,6 +59,11 @@ type Case struct {
 	Machine Machine `json:"machine"`
 	Faults  Config  `json:"faults"`
 	Ops     []Op    `json:"ops"`
+
+	// Trace is the last-N-protocol-events window of the failing run,
+	// captured by TraceTail when a campaign writes a shrunk
+	// reproduction. Purely diagnostic: replay ignores it.
+	Trace []string `json:"trace,omitempty"`
 }
 
 // Result is the deterministic verdict of running a case.
@@ -81,6 +88,11 @@ type Result struct {
 	Perturbations uint64        `json:"perturbations,omitempty"`
 	Wall          time.Duration `json:"-"`
 }
+
+// TraceTailEvents is the default window size campaigns attach to shrunk
+// reproductions: long enough to show a full NACK/retry or delegation
+// cycle, short enough that repro files stay reviewable.
+const TraceTailEvents = 64
 
 // poolBase anchors the fuzz address pool; each line gets its own page so
 // line index i maps to a stable home node i%Nodes.
@@ -163,7 +175,42 @@ func (c *Case) BuildConfig() core.Config {
 // coherence and end-state value verification once the queue drains.
 // Protocol panics (the invariant checkers' failure mode) are converted
 // into failing Results, so a campaign survives any verdict.
-func (c *Case) Run() (res Result) {
+func (c *Case) Run() (res Result) { return c.run(nil) }
+
+// TraceTail replays the case with an observer attached and returns the
+// last n protocol events, rendered one per line. Replay is deterministic,
+// so the tail shows exactly what the failing run was doing when it died;
+// campaigns attach it to shrunk reproductions.
+func (c *Case) TraceTail(n int) []string {
+	if n <= 0 {
+		n = 64
+	}
+	sink := obs.NewSink(n)
+	c.run(sink)
+	evs := sink.Events()
+	out := make([]string, len(evs))
+	for i := range evs {
+		out[i] = formatEvent(&evs[i])
+	}
+	return out
+}
+
+// formatEvent renders one observability event for a repro's trace tail.
+func formatEvent(e *obs.Event) string {
+	at := uint64(e.At)
+	switch e.Kind {
+	case obs.KindSend:
+		return fmt.Sprintf("[%8d] send %s %d->%d line %#x (%dB, %d hops)",
+			at, e.Msg.Type, e.Msg.Src, e.Msg.Dst, uint64(e.Addr), e.Bytes, e.Hops)
+	case obs.KindUndelegate:
+		return fmt.Sprintf("[%8d] %s n%d line %#x cause=%s",
+			at, e.Kind, e.Node, uint64(e.Addr), stats.UndelegateReason(e.Arg))
+	default:
+		return fmt.Sprintf("[%8d] %s n%d line %#x", at, e.Kind, e.Node, uint64(e.Addr))
+	}
+}
+
+func (c *Case) run(sink *obs.Sink) (res Result) {
 	res.Ops = len(c.Ops)
 	if err := c.Validate(); err != nil {
 		res.Failure = "invalid: " + err.Error()
@@ -174,6 +221,9 @@ func (c *Case) Run() (res Result) {
 	if err != nil {
 		res.Failure = "config: " + err.Error()
 		return res
+	}
+	if sink != nil {
+		sys.AttachObs(sink)
 	}
 	var inj *Injector
 	if c.Faults.Enabled() {

@@ -46,7 +46,7 @@ func Extensions(opts Options) ([]ExtRow, error) { return NewSession(opts).Extens
 func (s *Session) Extensions() ([]ExtRow, error) {
 	base := core.DefaultConfig()
 	base.Nodes = s.Opts.Nodes
-	fixed := base.WithMechanisms(32*1024, 32, true)
+	fixed := mech(base, 32*1024, 32, true)
 	adaptive := fixed
 	adaptive.AdaptiveDelay = true
 	pair := fixed
@@ -118,8 +118,8 @@ func (s *Session) RelatedWork() ([]RelatedRow, error) {
 		jobs = append(jobs,
 			s.job("related/"+wl.Name+"/base", base, wl),
 			s.job("related/"+wl.Name+"/self-inval", dsiCfg, wl),
-			s.job("related/"+wl.Name+"/deleg-only", base.WithMechanisms(32*1024, 32, false), wl),
-			s.job("related/"+wl.Name+"/deleg-upd", base.WithMechanisms(32*1024, 32, true), wl))
+			s.job("related/"+wl.Name+"/deleg-only", mech(base, 32*1024, 32, false), wl),
+			s.job("related/"+wl.Name+"/deleg-upd", mech(base, 32*1024, 32, true), wl))
 	}
 	res, err := s.r.Run(jobs)
 	if err != nil {

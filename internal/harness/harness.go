@@ -77,9 +77,20 @@ type ConfigSpec struct {
 	Mutate  func(*core.Config)
 }
 
+// mech sizes the paper's mechanisms on a config. The harness sweeps raw
+// byte and entry counts (including sub-kilobyte RACs), so it sets the
+// fields directly instead of going through the KB-granular core options;
+// the update-enable rule matches the deprecated Config.WithMechanisms.
+func mech(c core.Config, racBytes, delegateEntries int, updates bool) core.Config {
+	c.RACBytes = racBytes
+	c.DelegateEntries = delegateEntries
+	c.EnableUpdates = updates && racBytes > 0 && delegateEntries > 0
+	return c
+}
+
 // Apply produces the concrete configuration.
 func (s ConfigSpec) Apply(base core.Config) core.Config {
-	cfg := base.WithMechanisms(s.RAC, s.Deledc, s.Updates)
+	cfg := mech(base, s.RAC, s.Deledc, s.Updates)
 	if s.Mutate != nil {
 		s.Mutate(&cfg)
 	}
@@ -252,7 +263,7 @@ func Table3(opts Options) (map[string][5]float64, error) { return NewSession(opt
 func (s *Session) Table3() (map[string][5]float64, error) {
 	base := core.DefaultConfig()
 	base.Nodes = s.Opts.Nodes
-	cfg := base.WithMechanisms(1024*1024, 1024, true)
+	cfg := mech(base, 1024*1024, 1024, true)
 	apps := workload.All()
 
 	jobs := make([]runner.Job, len(apps))
@@ -305,7 +316,7 @@ func (s *Session) Fig8() ([]Fig8Row, error) {
 	for _, wl := range apps {
 		jobs = append(jobs,
 			s.job("fig8/"+wl.Name+"/base", mk(), wl),
-			s.job("fig8/"+wl.Name+"/smarter", mk().WithMechanisms(32*1024, 32, true), wl),
+			s.job("fig8/"+wl.Name+"/smarter", mech(mk(), 32*1024, 32, true), wl),
 			s.job("fig8/"+wl.Name+"/larger", big, wl))
 	}
 	res, err := s.r.Run(jobs)
@@ -365,7 +376,7 @@ func (s *Session) Fig9() ([]Fig9Row, error) {
 	var jobs []runner.Job
 	for _, wl := range apps {
 		for _, d := range delays {
-			cfg := core.DefaultConfig().WithMechanisms(32*1024, 32, true)
+			cfg := mech(core.DefaultConfig(), 32*1024, 32, true)
 			cfg.Nodes = s.Opts.Nodes
 			cfg.InterventionDelay = d
 			jobs = append(jobs, s.job("fig9/"+wl.Name+"/"+delayLabel(d), cfg, wl))
@@ -414,10 +425,10 @@ func (s *Session) Fig10() ([]Fig10Row, error) {
 		base := core.DefaultConfig()
 		base.Nodes = s.Opts.Nodes
 		base.Network.HopLatency = hop
-		mech := base.WithMechanisms(1024*1024, 32, true)
+		mcfg := mech(base, 1024*1024, 32, true)
 		jobs = append(jobs,
 			s.job(fmt.Sprintf("fig10/%dns/base", ns), base, wl),
-			s.job(fmt.Sprintf("fig10/%dns/mech", ns), mech, wl))
+			s.job(fmt.Sprintf("fig10/%dns/mech", ns), mcfg, wl))
 	}
 	res, err := s.r.Run(jobs)
 	if err != nil {
@@ -453,9 +464,9 @@ type sweepPoint struct {
 // sweep runs a baseline plus a series of mechanism sizings for one
 // workload and normalizes each point to the baseline.
 func (s *Session) sweep(figure, app string, pts []sweepPoint) ([]SweepRow, error) {
-	wl, ok := workload.ByName(app)
-	if !ok {
-		return nil, fmt.Errorf("harness: unknown workload %q", app)
+	wl, err := workload.Lookup(app)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
 	}
 	base := core.DefaultConfig()
 	base.Nodes = s.Opts.Nodes
@@ -463,7 +474,7 @@ func (s *Session) sweep(figure, app string, pts []sweepPoint) ([]SweepRow, error
 	jobs := []runner.Job{s.job(figure+"/"+app+"/base", base, wl)}
 	for _, p := range pts {
 		jobs = append(jobs, s.job(figure+"/"+app+"/"+p.label,
-			base.WithMechanisms(p.rac, p.entries, true), wl))
+			mech(base, p.rac, p.entries, true), wl))
 	}
 	res, err := s.r.Run(jobs)
 	if err != nil {
@@ -542,8 +553,8 @@ func (s *Session) Ablation() ([]AblationRow, error) {
 	for _, wl := range apps {
 		jobs = append(jobs,
 			s.job("ablation/"+wl.Name+"/base", base, wl),
-			s.job("ablation/"+wl.Name+"/deleg-only", base.WithMechanisms(32*1024, 32, false), wl),
-			s.job("ablation/"+wl.Name+"/deleg-upd", base.WithMechanisms(32*1024, 32, true), wl))
+			s.job("ablation/"+wl.Name+"/deleg-only", mech(base, 32*1024, 32, false), wl),
+			s.job("ablation/"+wl.Name+"/deleg-upd", mech(base, 32*1024, 32, true), wl))
 	}
 	res, err := s.r.Run(jobs)
 	if err != nil {

@@ -72,7 +72,7 @@ func TestModelPredictsSimulatorSpeedups(t *testing.T) {
 	opts := harness.Options{Nodes: 16, Scale: 1}
 	base := core.DefaultConfig()
 	base.Nodes = opts.Nodes
-	mechCfg := base.WithMechanisms(1024*1024, 1024, true)
+	mechCfg := base.With(core.WithRAC(1024), core.WithDelegation(1024), core.WithSpeculativeUpdates(0))
 
 	for _, wl := range workload.All() {
 		bst := harness.MustRun(base, wl, workload.Params{Nodes: 16})
@@ -103,7 +103,7 @@ func TestLatencyLimitBoundsAppbt(t *testing.T) {
 	base.Network.HopLatency = 400 // deep in the latency-dominated regime
 	bst := harness.MustRun(base, wl, workload.Params{Nodes: 16})
 
-	mech := base.WithMechanisms(32*1024, 32, true)
+	mech := base.With(core.WithRAC(32), core.WithDelegation(32), core.WithSpeculativeUpdates(0))
 	mst := harness.MustRun(mech, wl, workload.Params{Nodes: 16})
 
 	measured := float64(bst.ExecCycles) / float64(mst.ExecCycles)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"pccsim/internal/msg"
+	"pccsim/internal/obs"
 	"pccsim/internal/sim"
 	"pccsim/internal/stats"
 )
@@ -94,7 +95,11 @@ type Network struct {
 	egress   []sim.Time // next cycle each node's output port is free
 	ingress  []sim.Time // next cycle each node's input port is free
 	inFlight int
-	Tracer   func(at sim.Time, m *msg.Message) // optional debug hook
+	// Obs, when non-nil, receives a KindSend event for every packet
+	// injected into the fabric, carrying its hop count and wire size.
+	// Like Chaos, a nil Obs (the default) costs one pointer check per
+	// message and nothing else.
+	Obs *obs.Sink
 	// Chaos, when non-nil, perturbs delivery for fault-injection runs.
 	Chaos Chaos
 }
@@ -186,8 +191,11 @@ func (n *Network) Send(m *msg.Message) {
 	}
 	n.st.RecordMsg(m)
 	now := n.eng.Now()
-	if n.Tracer != nil {
-		n.Tracer(now, m)
+	if n.Obs != nil {
+		n.Obs.Emit(obs.Event{
+			At: now, Kind: obs.KindSend, Node: m.Src, Addr: m.Addr,
+			Hops: uint8(n.Hops(m.Src, m.Dst)), Bytes: uint32(m.Bytes()), Msg: *m,
+		})
 	}
 	n.inFlight++
 	if m.Src == m.Dst {

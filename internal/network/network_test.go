@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"pccsim/internal/msg"
+	"pccsim/internal/obs"
 	"pccsim/internal/sim"
 	"pccsim/internal/stats"
 )
@@ -125,15 +126,22 @@ func TestInFlightTracking(t *testing.T) {
 	eng.Run()
 }
 
-func TestTracerInvoked(t *testing.T) {
+func TestObsSinkInvoked(t *testing.T) {
 	eng, n, _ := newNet(t, 4)
 	n.Register(1, func(m *msg.Message) {})
-	traced := 0
-	n.Tracer = func(at sim.Time, m *msg.Message) { traced++ }
+	n.Obs = obs.NewSink(16)
 	n.Send(&msg.Message{Type: msg.GetShared, Src: 0, Dst: 1})
 	eng.Run()
-	if traced != 1 {
-		t.Fatalf("tracer called %d times, want 1", traced)
+	if n.Obs.Total() != 1 {
+		t.Fatalf("sink saw %d events, want 1", n.Obs.Total())
+	}
+	evs := n.Obs.Events()
+	if len(evs) != 1 || evs[0].Kind != obs.KindSend || evs[0].Hops == 0 ||
+		evs[0].Bytes != uint32((&msg.Message{Type: msg.GetShared}).Bytes()) {
+		t.Fatalf("bad send event: %+v", evs)
+	}
+	if n.Obs.M.MsgCount[msg.GetShared] != 1 {
+		t.Fatalf("metrics missed the send: %+v", n.Obs.M.MsgCount)
 	}
 }
 

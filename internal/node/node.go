@@ -9,6 +9,7 @@ import (
 	"pccsim/internal/core"
 	"pccsim/internal/cpu"
 	"pccsim/internal/msg"
+	"pccsim/internal/obs"
 	"pccsim/internal/sim"
 	"pccsim/internal/stats"
 )
@@ -28,6 +29,17 @@ type Option func(*Machine)
 // how many engine events it executed, and how long it took in host time.
 func WithObserver(obs core.Observer) Option {
 	return func(m *Machine) { m.Sys.Observer = obs }
+}
+
+// WithSink attaches a structured-event sink (internal/obs) to the
+// machine's protocol layers and interconnect before any program runs, so
+// the sink sees the whole execution. A nil sink is ignored.
+func WithSink(s *obs.Sink) Option {
+	return func(m *Machine) {
+		if s != nil {
+			m.Sys.AttachObs(s)
+		}
+	}
 }
 
 // New builds a machine from cfg.

@@ -128,7 +128,7 @@ func TestMemoizationHitsAndSharesStats(t *testing.T) {
 			simulated++
 		}
 	})
-	mech := baseCfg().WithMechanisms(32*1024, 32, true)
+	mech := baseCfg().With(core.WithRAC(32), core.WithDelegation(32), core.WithSpeculativeUpdates(0))
 	jobs := []Job{
 		testJob("a", baseCfg()),
 		testJob("b", mech),
@@ -174,7 +174,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 			wl, _ := workload.ByName(name)
 			jobs = append(jobs,
 				Job{Label: name + "/base", Cfg: baseCfg(), Workload: wl, Params: testParams()},
-				Job{Label: name + "/mech", Cfg: baseCfg().WithMechanisms(32*1024, 32, true),
+				Job{Label: name + "/mech", Cfg: baseCfg().With(core.WithRAC(32), core.WithDelegation(32), core.WithSpeculativeUpdates(0)),
 					Workload: wl, Params: testParams()})
 		}
 		return jobs
@@ -206,7 +206,7 @@ func TestErrorPropagation(t *testing.T) {
 	jobs := []Job{
 		testJob("good-one", baseCfg()),
 		testJob("bad-cell", bad),
-		testJob("good-two", baseCfg().WithMechanisms(32*1024, 32, true)),
+		testJob("good-two", baseCfg().With(core.WithRAC(32), core.WithDelegation(32), core.WithSpeculativeUpdates(0))),
 	}
 	res, err := New(2, nil).Run(jobs)
 	if err == nil {

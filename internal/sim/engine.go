@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -345,6 +346,14 @@ type RunawayError struct {
 	NextAt     Time       // timestamp of the next pending event
 	Census     []MsgCount // pending events by message type, most frequent first
 }
+
+// ErrRunaway is the class sentinel for watchdog aborts: any wrapped
+// *RunawayError satisfies errors.Is(err, ErrRunaway), and errors.As
+// still recovers the full diagnostic struct.
+var ErrRunaway = errors.New("sim: runaway simulation")
+
+// Is makes every *RunawayError match ErrRunaway under errors.Is.
+func (e *RunawayError) Is(target error) bool { return target == ErrRunaway }
 
 func (e *RunawayError) Error() string {
 	s := fmt.Sprintf("sim: watchdog: %d events executed without draining (%d total this engine, now cycle %d, %d events pending, next at cycle %d)",

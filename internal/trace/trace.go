@@ -1,8 +1,9 @@
 // Package trace records and renders coherence-message timelines: the
 // debugging view protocol architects actually read — per-line lifecycles
-// of requests, interventions, delegations and update pushes. It attaches
-// to the interconnect's tracer hook, keeps a bounded ring of events, and
-// can render either a raw timeline or a per-line protocol story.
+// of requests, interventions, delegations and update pushes. It rides the
+// observability layer (internal/obs) as a tap on the interconnect's event
+// sink, keeps a bounded ring of events, and can render either a raw
+// timeline or a per-line protocol story.
 package trace
 
 import (
@@ -12,6 +13,7 @@ import (
 
 	"pccsim/internal/msg"
 	"pccsim/internal/network"
+	"pccsim/internal/obs"
 	"pccsim/internal/sim"
 )
 
@@ -76,10 +78,24 @@ func NewRecorder(capacity int, filter *Filter) *Recorder {
 	return &Recorder{filter: filter, ring: make([]Event, capacity)}
 }
 
-// Attach hooks the recorder into a network. Only one tracer can be
-// attached to a network at a time.
+// Attach hooks the recorder into a network through its observability
+// sink: if none is attached yet, a metrics-only sink is installed (the
+// recorder keeps its own ring); if one is already there — e.g. a caller
+// exporting a Perfetto trace — the recorder chains onto its tap, so both
+// consumers see every event.
 func (r *Recorder) Attach(n *network.Network) {
-	n.Tracer = func(at sim.Time, m *msg.Message) { r.Record(at, m) }
+	if n.Obs == nil {
+		n.Obs = obs.NewSink(0)
+	}
+	prev := n.Obs.Tap
+	n.Obs.Tap = func(e obs.Event) {
+		if prev != nil {
+			prev(e)
+		}
+		if e.Kind == obs.KindSend {
+			r.Record(e.At, &e.Msg)
+		}
+	}
 }
 
 // Record adds one event (exported so other layers can inject).

@@ -15,6 +15,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -68,6 +69,23 @@ func ByName(name string) (*Workload, bool) {
 		}
 	}
 	return nil, false
+}
+
+// ErrUnknown is wrapped by Lookup failures, so callers can classify a
+// bad workload name with errors.Is instead of matching message text.
+var ErrUnknown = errors.New("workload: unknown workload")
+
+// Lookup is ByName with a descriptive error: failures wrap ErrUnknown
+// and list the valid names.
+func Lookup(name string) (*Workload, error) {
+	if w, ok := ByName(name); ok {
+		return w, nil
+	}
+	names := make([]string, 0, 7)
+	for _, w := range All() {
+		names = append(names, w.Name)
+	}
+	return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknown, name, names)
 }
 
 // LineBytes is the coherence granularity used for address layout.

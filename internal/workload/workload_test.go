@@ -124,7 +124,7 @@ func TestWorkloadsRunEndToEnd(t *testing.T) {
 			for i := range streams2 {
 				streams2[i] = &cpu.SliceStream{Ops: ops2[i]}
 			}
-			mcfg := cfg.WithMechanisms(32*1024, 32, true)
+			mcfg := cfg.With(core.WithRAC(32), core.WithDelegation(32), core.WithSpeculativeUpdates(0))
 			mach, err := node.New(mcfg)
 			if err != nil {
 				t.Fatal(err)
@@ -156,7 +156,7 @@ func TestTable3Shapes(t *testing.T) {
 		for i := range streams {
 			streams[i] = &cpu.SliceStream{Ops: ops[i]}
 		}
-		cfg := core.DefaultConfig().WithMechanisms(32*1024, 32, true)
+		cfg := core.DefaultConfig().With(core.WithRAC(32), core.WithDelegation(32), core.WithSpeculativeUpdates(0))
 		cfg.Nodes = nodes
 		m, err := node.New(cfg)
 		if err != nil {
@@ -214,7 +214,7 @@ func TestSyntheticRunsAndDelegates(t *testing.T) {
 	for i := range streams {
 		streams[i] = &cpu.SliceStream{Ops: ops[i]}
 	}
-	cfg := core.DefaultConfig().WithMechanisms(32*1024, 32, true)
+	cfg := core.DefaultConfig().With(core.WithRAC(32), core.WithDelegation(32), core.WithSpeculativeUpdates(0))
 	cfg.Nodes = p.Nodes
 	cfg.CheckInvariants = true
 	m, err := node.New(cfg)
@@ -245,7 +245,7 @@ func TestSyntheticConsumerKnob(t *testing.T) {
 		for i := range streams {
 			streams[i] = &cpu.SliceStream{Ops: ops[i]}
 		}
-		cfg := core.DefaultConfig().WithMechanisms(32*1024, 32, true)
+		cfg := core.DefaultConfig().With(core.WithRAC(32), core.WithDelegation(32), core.WithSpeculativeUpdates(0))
 		m, err := node.New(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -274,7 +274,7 @@ func TestDeterministicSimulation(t *testing.T) {
 		for i := range streams {
 			streams[i] = &cpu.SliceStream{Ops: ops[i]}
 		}
-		cfg := core.DefaultConfig().WithMechanisms(32*1024, 32, true)
+		cfg := core.DefaultConfig().With(core.WithRAC(32), core.WithDelegation(32), core.WithSpeculativeUpdates(0))
 		cfg.Nodes = 8
 		m, err := node.New(cfg)
 		if err != nil {

@@ -9,11 +9,22 @@
 // delegation to the producer node, and speculative updates driven by
 // delayed interventions that land in remote access caches.
 //
-// Quick start:
+// # Configuring a machine
 //
-//	cfg := pccsim.DefaultConfig().WithMechanisms(32*1024, 32, true)
-//	st, err := pccsim.RunWorkload(cfg, "em3d", pccsim.WorkloadParams{Nodes: cfg.Nodes})
-//	fmt.Println(st.ExecCycles, st.RemoteMisses())
+// DefaultConfig is the paper's Table 1 baseline. The mechanisms are
+// enabled with functional options, either at machine construction or by
+// deriving a Config:
+//
+//	m, err := pccsim.New(pccsim.DefaultConfig(),
+//	    pccsim.WithRAC(32),               // 32 KB remote access cache
+//	    pccsim.WithDelegation(32),        // 32-entry delegate cache
+//	    pccsim.WithSpeculativeUpdates(0)) // updates, default 50-cycle delay
+//
+//	st, err := pccsim.RunWorkload(
+//	    pccsim.DefaultConfig().With(pccsim.WithRAC(32), pccsim.WithDelegation(32)),
+//	    "em3d", pccsim.WorkloadParams{})
+//
+// # Programs
 //
 // Custom programs are built from per-node operation streams:
 //
@@ -21,8 +32,35 @@
 //	prog.Store(0, 0x1000)  // node 0 produces
 //	prog.Barrier()
 //	prog.Load(1, 0x1000)   // node 1 consumes
-//	m, _ := pccsim.NewMachine(cfg)
+//	m, _ := pccsim.New(cfg)
 //	st, _ := m.Run(prog)
+//
+// # Observability
+//
+// Machine.Observe attaches a structured event stream before a run: every
+// message injected into the fabric (with hop count and wire size), every
+// miss with its MSHR occupancy and outcome class, and the full delegation
+// lifecycle (detect → delegate → install → undelegate with the paper's
+// §2.3.3 cause). The stream aggregates Metrics live — so totals are exact
+// even after the event ring wraps — and exports Chrome/Perfetto trace
+// JSON. With no observer attached the simulator pays one nil pointer
+// check per potential event and allocates nothing; results are identical
+// either way.
+//
+//	es := m.Observe(1 << 16)
+//	st, _ := m.Run(prog)
+//	es.WritePerfetto(file)           // open in ui.perfetto.dev
+//	fmt.Println(es.Metrics().AvgHops())
+//
+// Machine.Trace remains the plain-text timeline view; it rides the same
+// stream, and both may be attached at once.
+//
+// # Errors
+//
+// Failures are classified by sentinel: ErrUnknownWorkload (bad benchmark
+// name), ErrBadConfig (Config.Validate rejection), ErrRunaway (watchdog
+// abort on a livelocked run; errors.As recovers the *RunawayError
+// diagnostics). All are matched with errors.Is through any wrapping.
 package pccsim
 
 import (
@@ -33,6 +71,7 @@ import (
 	"pccsim/internal/cpu"
 	"pccsim/internal/msg"
 	"pccsim/internal/node"
+	"pccsim/internal/obs"
 	"pccsim/internal/sim"
 	"pccsim/internal/stats"
 	"pccsim/internal/trace"
@@ -53,6 +92,9 @@ type WorkloadParams = workload.Params
 // Addr is a physical byte address.
 type Addr = msg.Addr
 
+// NodeID identifies one processor/hub node.
+type NodeID = msg.NodeID
+
 // Time is a duration in 2 GHz processor cycles.
 type Time = sim.Time
 
@@ -60,9 +102,49 @@ type Time = sim.Time
 // point of the paper's Figure 9).
 const NoIntervention = core.NoIntervention
 
+// Option mutates a Config; pass options to New or Config.With. Each
+// option enables one of the paper's mechanisms.
+type Option = core.Option
+
+// WithRAC enables the remote access cache, sized in kilobytes (Figure 7
+// uses 32).
+func WithRAC(kiloBytes int) Option { return core.WithRAC(kiloBytes) }
+
+// WithDelegation enables directory delegation with the given producer
+// table size; requires WithRAC.
+func WithDelegation(entries int) Option { return core.WithDelegation(entries) }
+
+// WithSpeculativeUpdates enables speculative updates via delayed
+// interventions. delay is the intervention interval in cycles (0 = keep
+// the configured default of 50; NoIntervention = never fire). Requires
+// delegation and a RAC.
+func WithSpeculativeUpdates(delay Time) Option { return core.WithSpeculativeUpdates(delay) }
+
+// WithSelfInvalidation selects the related-work self-invalidation
+// baseline instead of delegation/updates.
+func WithSelfInvalidation() Option { return core.WithSelfInvalidation() }
+
+// WithAdaptiveDelay enables the §5 per-line learned intervention delay.
+func WithAdaptiveDelay() Option { return core.WithAdaptiveDelay() }
+
+// Typed error classes; see the package comment's Errors section.
+var (
+	// ErrUnknownWorkload reports a benchmark name not in Workloads.
+	ErrUnknownWorkload = workload.ErrUnknown
+	// ErrBadConfig reports a Config that fails validation.
+	ErrBadConfig = core.ErrBadConfig
+	// ErrRunaway reports a watchdog abort; errors.As against
+	// *pccsim.RunawayError recovers the queue census.
+	ErrRunaway = sim.ErrRunaway
+)
+
+// RunawayError carries the watchdog diagnostics of a run that exhausted
+// its step budget (see Config.WatchdogSteps).
+type RunawayError = sim.RunawayError
+
 // DefaultConfig returns the Table 1 baseline system (no RAC, no
-// delegation, no updates). Use Config.WithMechanisms to enable the paper's
-// hardware.
+// delegation, no updates). Enable the paper's hardware with the With*
+// options.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // Workloads lists the seven benchmark generators in the paper's order.
@@ -81,13 +163,95 @@ type Machine struct {
 	inner *node.Machine
 }
 
-// NewMachine builds a machine from cfg.
-func NewMachine(cfg Config) (*Machine, error) {
-	m, err := node.New(cfg)
+// New builds a machine from cfg with the options applied. It fails with
+// ErrBadConfig if the resulting configuration is inconsistent (e.g.
+// delegation without a RAC).
+func New(cfg Config, opts ...Option) (*Machine, error) {
+	m, err := node.New(cfg.With(opts...))
 	if err != nil {
 		return nil, err
 	}
 	return &Machine{inner: m}, nil
+}
+
+// NewMachine builds a machine from cfg. It is New without options, kept
+// for existing callers.
+func NewMachine(cfg Config) (*Machine, error) { return New(cfg) }
+
+// Event is one structured protocol event; Kind says what happened and
+// which of the fields carry meaning (see the Kind constants).
+type Event = obs.Event
+
+// Kind classifies an Event.
+type Kind = obs.Kind
+
+// Metrics aggregates every event ever emitted to a stream: traffic by
+// message class, hop histogram, miss outcomes, MSHR peak, the delegation
+// ledger and per-line timelines.
+type Metrics = obs.Metrics
+
+// Event kinds, re-exported for filtering in EventStream taps.
+const (
+	KindSend             = obs.KindSend
+	KindMissStart        = obs.KindMissStart
+	KindMissEnd          = obs.KindMissEnd
+	KindPCDetect         = obs.KindPCDetect
+	KindDelegate         = obs.KindDelegate
+	KindDelegateInstall  = obs.KindDelegateInstall
+	KindUndelegate       = obs.KindUndelegate
+	KindUndelegateCommit = obs.KindUndelegateCommit
+	KindIntervention     = obs.KindIntervention
+	KindUpdatePush       = obs.KindUpdatePush
+	KindUpdateHit        = obs.KindUpdateHit
+	KindUpdateWaste      = obs.KindUpdateWaste
+)
+
+// EventStream is a live view of one machine's protocol events; see
+// Machine.Observe.
+type EventStream struct {
+	sink *obs.Sink
+}
+
+// Events returns the retained event window in emission order.
+func (e *EventStream) Events() []Event { return e.sink.Events() }
+
+// Metrics returns the live aggregates; unlike Events they cover the
+// whole run even when the ring has wrapped.
+func (e *EventStream) Metrics() *Metrics { return &e.sink.M }
+
+// Total reports how many events were emitted, including any that have
+// already been overwritten in the ring.
+func (e *EventStream) Total() uint64 { return e.sink.Total() }
+
+// OnEvent registers fn to run on every event as it is emitted, after any
+// previously registered function. The callback runs inside the simulation
+// hot path: keep it allocation-light.
+func (e *EventStream) OnEvent(fn func(Event)) {
+	prev := e.sink.Tap
+	if prev == nil {
+		e.sink.Tap = fn
+		return
+	}
+	e.sink.Tap = func(ev Event) { prev(ev); fn(ev) }
+}
+
+// WritePerfetto exports the stream as Chrome trace-event JSON, loadable
+// in ui.perfetto.dev or chrome://tracing: one track per node (messages,
+// misses, MSHR occupancy counters) and one per cache line (the
+// delegation lifecycle). Timestamps are simulated cycles written into
+// the microsecond field.
+func (e *EventStream) WritePerfetto(w io.Writer) error {
+	return obs.WritePerfetto(w, e.sink)
+}
+
+// Observe attaches a structured event stream retaining the most recent
+// capacity events (capacity < 0 retains everything; 0 keeps metrics
+// only). Call before Run. Attaching an observer never changes simulation
+// results — only records them.
+func (m *Machine) Observe(capacity int) *EventStream {
+	s := obs.NewSink(capacity)
+	m.inner.Sys.AttachObs(s)
+	return &EventStream{sink: s}
 }
 
 // TraceRecorder captures the machine's coherence-message timeline for
@@ -108,7 +272,8 @@ func (t *TraceRecorder) Total() uint64 { return t.inner.Total() }
 
 // Trace attaches a message recorder keeping the most recent capacity
 // events. line restricts recording to one cache line (0 = all lines).
-// Call before Run.
+// Call before Run. Trace and Observe share the machine's event stream
+// and compose in either order.
 func (m *Machine) Trace(capacity int, line Addr) *TraceRecorder {
 	var f *trace.Filter
 	if line != 0 {
@@ -151,11 +316,12 @@ func BuildSynthetic(p SynthParams) (*Program, error) {
 }
 
 // BuildWorkload constructs the named benchmark as a Program, for running
-// on a Machine you configure yourself (e.g. with a tracer attached).
+// on a Machine you configure yourself (e.g. with an observer attached).
+// Unknown names fail with ErrUnknownWorkload.
 func BuildWorkload(name string, p WorkloadParams) (*Program, error) {
-	w, ok := workload.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("pccsim: unknown workload %q (have %v)", name, Workloads())
+	w, err := workload.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	if p.Nodes <= 0 {
 		return nil, fmt.Errorf("pccsim: BuildWorkload needs WorkloadParams.Nodes")
@@ -164,10 +330,12 @@ func BuildWorkload(name string, p WorkloadParams) (*Program, error) {
 }
 
 // RunWorkload builds the named benchmark and runs it on a fresh machine.
+// p.Nodes == 0 means cfg.Nodes. Unknown names fail with
+// ErrUnknownWorkload.
 func RunWorkload(cfg Config, name string, p WorkloadParams) (*Stats, error) {
-	w, ok := workload.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("pccsim: unknown workload %q (have %v)", name, Workloads())
+	w, err := workload.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	if p.Nodes == 0 {
 		p.Nodes = cfg.Nodes
@@ -175,7 +343,7 @@ func RunWorkload(cfg Config, name string, p WorkloadParams) (*Stats, error) {
 	if p.Nodes != cfg.Nodes {
 		return nil, fmt.Errorf("pccsim: workload sized for %d nodes, config has %d", p.Nodes, cfg.Nodes)
 	}
-	m, err := NewMachine(cfg)
+	m, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}

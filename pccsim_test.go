@@ -1,6 +1,7 @@
 package pccsim_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -34,8 +35,41 @@ func TestRunWorkloadBaseline(t *testing.T) {
 
 func TestRunWorkloadUnknown(t *testing.T) {
 	_, err := pccsim.RunWorkload(pccsim.DefaultConfig(), "quake3", pccsim.WorkloadParams{})
-	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
-		t.Fatalf("unknown workload not rejected: %v", err)
+	if !errors.Is(err, pccsim.ErrUnknownWorkload) {
+		t.Fatalf("unknown workload not rejected with ErrUnknownWorkload: %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "quake3") {
+		t.Fatalf("error does not name the bad workload: %v", err)
+	}
+}
+
+func TestBadConfigSentinel(t *testing.T) {
+	// Delegation without a RAC is inconsistent; New must classify it.
+	_, err := pccsim.New(pccsim.DefaultConfig(), pccsim.WithDelegation(32))
+	if !errors.Is(err, pccsim.ErrBadConfig) {
+		t.Fatalf("inconsistent config not rejected with ErrBadConfig: %v", err)
+	}
+}
+
+func TestRunawaySentinel(t *testing.T) {
+	cfg := pccsim.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.WatchdogSteps = 10
+	m, err := pccsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := pccsim.NewProgram(4)
+	for n := 0; n < 4; n++ {
+		prog.Store(n, 0x1000)
+	}
+	_, err = m.Run(prog)
+	if !errors.Is(err, pccsim.ErrRunaway) {
+		t.Fatalf("watchdog abort not classified as ErrRunaway: %v", err)
+	}
+	var runaway *pccsim.RunawayError
+	if !errors.As(err, &runaway) || runaway.Pending == 0 {
+		t.Fatalf("ErrRunaway without diagnostics: %v", err)
 	}
 }
 
@@ -55,7 +89,8 @@ func TestMechanismsImprovePCWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mech, err := pccsim.RunWorkload(cfg.WithMechanisms(32*1024, 32, true), "em3d", params)
+	mech, err := pccsim.RunWorkload(cfg.With(pccsim.WithRAC(32), pccsim.WithDelegation(32),
+		pccsim.WithSpeculativeUpdates(0)), "em3d", params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +151,8 @@ func TestProgramMachineMismatch(t *testing.T) {
 func TestCustomProducerConsumer(t *testing.T) {
 	// The paper's pattern via the public API: detection, delegation,
 	// updates, local consumer hits.
-	cfg := pccsim.DefaultConfig().WithMechanisms(32*1024, 32, true)
+	cfg := pccsim.DefaultConfig().With(pccsim.WithRAC(32), pccsim.WithDelegation(32),
+		pccsim.WithSpeculativeUpdates(0))
 	cfg.Nodes = 4
 	cfg.CheckInvariants = true
 	m, err := pccsim.NewMachine(cfg)
