@@ -41,6 +41,8 @@ func main() {
 	scale := fs.Int("scale", 1, "workload problem-size multiplier")
 	iters := fs.Int("iters", 0, "workload iteration override (0 = defaults)")
 	parallel := fs.Int("parallel", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "engine shards per simulated machine (0 = single engine)")
+	deterministic := fs.Bool("deterministic", false, "with -shards: serial round-robin shard scheduler (bit-for-bit reference mode)")
 	progress := fs.Bool("progress", false, "report per-cell start/finish on stderr")
 	format := fs.String("format", "table", "output format: table|csv|json (csv supports "+joinList(csvExperiments)+"; json runs everything)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -82,7 +84,10 @@ func main() {
 		}
 	}
 
-	opts := harness.Options{Nodes: *nodes, Scale: *scale, Iters: *iters, Parallel: *parallel}
+	opts := harness.Options{
+		Nodes: *nodes, Scale: *scale, Iters: *iters, Parallel: *parallel,
+		Shards: *shards, Deterministic: *deterministic,
+	}
 	if *progress {
 		opts.Progress = progressPrinter()
 	}

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"pccsim/internal/core"
+	"pccsim/internal/cpu"
+	"pccsim/internal/node"
+	"pccsim/internal/stats"
+	"pccsim/internal/workload"
+)
+
+// shardReport is the schema of BENCH_pr6.json: the sharded-engine scaling
+// record. Speedups are honest host measurements — on a single-CPU runner
+// the parallel scheduler cannot beat the serial one, which is why CPUs is
+// part of the record and the check gate treats speedup as informational
+// when the host lacks cores.
+type shardReport struct {
+	Workload  string      `json:"workload"`
+	GoVersion string      `json:"go_version"`
+	CPUs      int         `json:"cpus"`
+	Timestamp string      `json:"timestamp"`
+	Cells     []shardCell `json:"cells"`
+}
+
+// shardCell is one (nodes, shards) measurement. Shards == 1 is the serial
+// baseline its row's speedups are relative to. StatsMatch reports whether
+// the parallel scheduler's end-state Stats equalled the deterministic
+// serial scheduler's at the same shard count — the correctness gate that
+// licenses trusting the fast mode's numbers at all.
+type shardCell struct {
+	Nodes       int     `json:"nodes"`
+	Shards      int     `json:"shards"`
+	Parallel    bool    `json:"parallel"`
+	Events      uint64  `json:"events"`
+	WallSeconds float64 `json:"wall_seconds"`
+	NsPerEvent  float64 `json:"ns_per_event"`
+	Speedup     float64 `json:"speedup_vs_1shard,omitempty"`
+	StatsMatch  bool    `json:"stats_match_deterministic"`
+}
+
+// shardRun executes the sweep workload once on a machine with the given
+// shard configuration; the returned stats feed the serial/parallel match
+// check and the event count and wall time feed the throughput columns.
+func shardRun(nodes, shards int, parallel bool) (*stats.Stats, uint64, time.Duration, error) {
+	cfg := core.DefaultConfig().With(core.WithRAC(32), core.WithDelegation(32))
+	cfg.Nodes = nodes
+	cfg.Shards = shards
+	cfg.ShardsParallel = parallel && shards > 1
+	m, err := node.New(cfg)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	wl, ok := workload.ByName("em3d")
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("em3d workload missing")
+	}
+	ops := wl.Build(workload.Params{Nodes: nodes})
+	streams := make([]cpu.Stream, len(ops))
+	for i := range ops {
+		streams[i] = &cpu.SliceStream{Ops: ops[i]}
+	}
+	start := time.Now()
+	st, err := m.Run(streams)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return st, m.Sys.Steps(), time.Since(start), nil
+}
+
+// runShardSweep measures em3d across the node-count × shard-count grid
+// and returns the scaling report. Node counts stop at 64 — msg.Vector is
+// a 64-bit full-map sharing vector, which caps the machine size.
+func runShardSweep(nodeCounts, shardCounts []int) (*shardReport, error) {
+	rep := &shardReport{
+		Workload:  "em3d",
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, n := range nodeCounts {
+		var baseWall time.Duration
+		for _, sh := range shardCounts {
+			if sh > n {
+				continue
+			}
+			parallel := sh > 1
+			st, events, wall, err := shardRun(n, sh, parallel)
+			if err != nil {
+				return nil, fmt.Errorf("nodes=%d shards=%d: %w", n, sh, err)
+			}
+			cell := shardCell{
+				Nodes: n, Shards: sh, Parallel: parallel,
+				Events:      events,
+				WallSeconds: wall.Seconds(),
+				NsPerEvent:  float64(wall.Nanoseconds()) / float64(events),
+				StatsMatch:  true,
+			}
+			if sh == 1 {
+				baseWall = wall
+			} else {
+				if baseWall > 0 {
+					cell.Speedup = baseWall.Seconds() / wall.Seconds()
+				}
+				det, _, _, err := shardRun(n, sh, false)
+				if err != nil {
+					return nil, fmt.Errorf("nodes=%d shards=%d serial: %w", n, sh, err)
+				}
+				cell.StatsMatch = reflect.DeepEqual(st, det)
+			}
+			fmt.Fprintf(os.Stderr, "pccperf: shards nodes=%-3d shards=%d %8d events in %-10v %6.1f ns/ev speedup=%.2f match=%v\n",
+				n, sh, cell.Events, wall.Round(time.Millisecond), cell.NsPerEvent, cell.Speedup, cell.StatsMatch)
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	return rep, nil
+}
+
+// writeShardSweep runs the full sweep and writes BENCH_pr6.json (or path).
+func writeShardSweep(path string) int {
+	rep, err := runShardSweep([]int{16, 32, 64}, []int{1, 2, 4, 8})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pccperf:", err)
+		return 1
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pccperf:", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if path == "-" {
+		os.Stdout.Write(enc)
+		return 0
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pccperf:", err)
+		return 1
+	}
+	return 0
+}
+
+// checkShards is the sharded-engine gate for bench-smoke: a reduced sweep
+// (16 nodes at 1 and 4 shards) whose parallel stats MUST match the
+// deterministic scheduler's, and whose ns/event must stay within the
+// tolerance factor of the committed baseline's matching cell. Speedup is
+// informational: it gates nothing unless the host actually has cores to
+// parallelize over, and even then only warns — wall-clock scaling claims
+// belong in BENCH_pr6.json with the CPU count attached, not in a CI gate
+// that runs on arbitrary machines.
+func checkShards(path string, tol float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pccperf:", err)
+		return 1
+	}
+	var base shardReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "pccperf: %s: %v\n", path, err)
+		return 1
+	}
+	baseNs := func(nodes, shards int) float64 {
+		for _, c := range base.Cells {
+			if c.Nodes == nodes && c.Shards == shards {
+				return c.NsPerEvent
+			}
+		}
+		return 0
+	}
+
+	rep, err := runShardSweep([]int{16}, []int{1, 4})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pccperf:", err)
+		return 1
+	}
+	fail := 0
+	for _, c := range rep.Cells {
+		name := fmt.Sprintf("shards-%dn%ds", c.Nodes, c.Shards)
+		if !c.StatsMatch {
+			fmt.Fprintf(os.Stderr, "pccperf: check %-16s FAIL: parallel stats diverge from deterministic\n", name)
+			fail = 1
+		}
+		if want := baseNs(c.Nodes, c.Shards); want <= 0 {
+			fmt.Fprintf(os.Stderr, "pccperf: check %-16s baseline cell missing; skipped\n", name)
+		} else if c.NsPerEvent > want*tol {
+			fmt.Fprintf(os.Stderr, "pccperf: check %-16s FAIL: %.2f ns/ev vs baseline %.2f (> %.1fx)\n",
+				name, c.NsPerEvent, want, tol)
+			fail = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "pccperf: check %-16s ok: %.2f ns/ev vs baseline %.2f (%.2fx)\n",
+				name, c.NsPerEvent, want, c.NsPerEvent/want)
+		}
+		if c.Shards > 1 && runtime.NumCPU() >= c.Shards && c.Speedup < 1 {
+			fmt.Fprintf(os.Stderr, "pccperf: check %-16s warn: speedup %.2fx on %d CPUs\n",
+				name, c.Speedup, runtime.NumCPU())
+		}
+	}
+	if fail == 0 {
+		fmt.Fprintf(os.Stderr, "pccperf: check-shards OK against %s (tolerance %.1fx)\n", path, tol)
+	}
+	return fail
+}

@@ -36,6 +36,8 @@ func main() {
 	delay := flag.Uint64("delay", 50, "intervention delay in cycles")
 	hop := flag.Uint64("hop", 100, "network hop latency in cycles")
 	check := flag.Bool("check", false, "enable runtime coherence invariant checks")
+	shards := flag.Int("shards", 0, "engine shards (0 = single engine; >1 runs the parallel scheduler)")
+	deterministic := flag.Bool("deterministic", false, "with -shards: serial round-robin shard scheduler")
 	traceN := flag.Int("trace", 0, "dump the last N coherence messages after the run")
 	traceLine := flag.Uint64("trace-line", 0, "restrict tracing to one line address")
 	flag.Parse()
@@ -48,6 +50,11 @@ func main() {
 	cfg.InterventionDelay = pccsim.Time(*delay)
 	cfg.Network.HopLatency = pccsim.Time(*hop)
 	cfg.CheckInvariants = *check
+	if *deterministic {
+		cfg = cfg.With(pccsim.WithDeterministicShards(*shards))
+	} else {
+		cfg = cfg.With(pccsim.WithShards(*shards))
+	}
 
 	var rec *pccsim.TraceRecorder
 	var st *pccsim.Stats
@@ -93,6 +100,8 @@ func traceMain(args []string) int {
 	updates := fs.Bool("updates", true, "enable speculative updates")
 	delay := fs.Uint64("delay", 50, "intervention delay in cycles")
 	window := fs.Int("window", 1<<18, "event-window capacity (-1 = retain everything)")
+	shards := fs.Int("shards", 0, "engine shards (0 = single engine; >1 runs the parallel scheduler)")
+	deterministic := fs.Bool("deterministic", false, "with -shards: serial round-robin shard scheduler")
 	fs.Parse(args)
 
 	cfg := pccsim.DefaultConfig()
@@ -101,6 +110,11 @@ func traceMain(args []string) int {
 	cfg.DelegateEntries = *deledc
 	cfg.EnableUpdates = *updates && *racKB > 0 && *deledc > 0
 	cfg.InterventionDelay = pccsim.Time(*delay)
+	if *deterministic {
+		cfg = cfg.With(pccsim.WithDeterministicShards(*shards))
+	} else {
+		cfg = cfg.With(pccsim.WithShards(*shards))
+	}
 
 	m, err := pccsim.New(cfg)
 	if err != nil {

@@ -106,6 +106,22 @@ type Config struct {
 	// checked at the completion of every transaction that incurs an L2
 	// miss). Tests enable it; benchmark sweeps disable it for speed.
 	CheckInvariants bool
+
+	// Shards partitions the machine into contiguous node groups, each
+	// owning a private event engine (timing wheel, message pool) and its
+	// nodes' slice of directory/home state. Shards advance in
+	// conservative time windows whose width is the minimum cross-shard
+	// network latency (see network.MinLookahead). 0 or 1 keeps the
+	// classic single-engine scheduler, whose event order is the
+	// bit-for-bit reproducibility reference.
+	Shards int
+
+	// ShardsParallel executes the shards on worker goroutines (the fast
+	// mode). When false, a sharded system runs its shards round-robin on
+	// one goroutine — the deterministic scheduler, which produces
+	// results identical to the parallel mode at the same shard count.
+	// Ignored when Shards <= 1.
+	ShardsParallel bool
 }
 
 // NoIntervention is an InterventionDelay value that disables the delayed
@@ -189,6 +205,27 @@ func WithAdaptiveDelay() Option {
 	return func(c *Config) { c.AdaptiveDelay = true }
 }
 
+// WithShards partitions the machine into n engine shards executed on
+// worker goroutines (the fast scheduler). n <= 1 keeps the classic
+// single engine; n must not exceed Nodes.
+func WithShards(n int) Option {
+	return func(c *Config) {
+		c.Shards = n
+		c.ShardsParallel = n > 1
+	}
+}
+
+// WithDeterministicShards partitions like WithShards but keeps the
+// serial round-robin scheduler: same shard topology, same results, one
+// goroutine. This is the reference the fast mode is validated against
+// and the mode to use when reproducing a parallel-run failure.
+func WithDeterministicShards(n int) Option {
+	return func(c *Config) {
+		c.Shards = n
+		c.ShardsParallel = false
+	}
+}
+
 // With returns a copy of c with the options applied, in order.
 func (c Config) With(opts ...Option) Config {
 	for _, o := range opts {
@@ -243,6 +280,9 @@ func (c *Config) Validate() error {
 	}
 	if c.SelfInvalidate && (c.DelegateEntries > 0 || c.EnableUpdates) {
 		return fmt.Errorf("%w: SelfInvalidate is an alternative baseline; disable delegation/updates", ErrBadConfig)
+	}
+	if c.Shards < 0 || c.Shards > c.Nodes {
+		return fmt.Errorf("%w: Shards = %d, want 0..Nodes (%d)", ErrBadConfig, c.Shards, c.Nodes)
 	}
 	return nil
 }

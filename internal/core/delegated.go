@@ -132,7 +132,7 @@ func (h *Hub) delegatedRead(req *msg.Message, pe *delegate.ProducerEntry) {
 		// intervention timer will still push updates to consumers
 		// that have not re-read (fireIntervention's Shared arm).
 		h.st.Interventions++
-		if o := h.sys.Obs; o != nil {
+		if o := h.obs; o != nil {
 			o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindIntervention, Node: h.id,
 				Addr: req.Addr, Arg: uint64(h.id), Arg2: 2})
 		}
@@ -224,7 +224,7 @@ func (h *Hub) installDelegation(m *msg.Message) {
 		if evicted != nil {
 			panic("core: producer table evicted after making room")
 		}
-		if o := h.sys.Obs; o != nil {
+		if o := h.obs; o != nil {
 			o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindDelegateInstall, Node: h.id,
 				Addr: m.Addr, Arg: uint64(h.prod.Len())})
 		}
@@ -303,7 +303,7 @@ func (h *Hub) undelegate(pe *delegate.ProducerEntry, reason stats.UndelegateReas
 
 	h.prod.Remove(pe.Addr)
 	h.st.RecordUndelegation(reason)
-	if o := h.sys.Obs; o != nil {
+	if o := h.obs; o != nil {
 		o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindUndelegate, Node: h.id,
 			Addr: pe.Addr, Arg: uint64(reason)})
 	}
@@ -334,7 +334,7 @@ func (h *Hub) undelegateNoEntry(addr msg.Addr, version uint64) {
 		holders = holders.Set(h.id)
 	}
 	h.st.RecordUndelegation(stats.UndelCapacity)
-	if o := h.sys.Obs; o != nil {
+	if o := h.obs; o != nil {
 		o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindUndelegate, Node: h.id,
 			Addr: addr, Arg: uint64(stats.UndelCapacity), Arg2: 1})
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pccsim/internal/msg"
 )
@@ -13,7 +14,13 @@ import (
 // data-bearing messages, and the invariant checker verifies that no node
 // ever observes versions moving backwards and that a writer always holds
 // the latest version when it writes (the simulator-side checks of §2.5).
+//
+// On a sharded system hubs on different shards write concurrently, so the
+// oracle takes a mutex — but only when sharing is enabled, keeping the
+// single-engine hot path lock-free.
 type global struct {
+	mu       sync.Mutex
+	shared   bool
 	latest   map[msg.Addr]uint64
 	observed map[observedKey]uint64 // highest version each node has seen, per line
 	check    bool
@@ -32,10 +39,17 @@ func newGlobal(check bool) *global {
 	return g
 }
 
+// enableSharing arms the mutex; call before any concurrent access.
+func (g *global) enableSharing() { g.shared = true }
+
 // write records a store by node to addr whose cached copy held version
 // held, returning the new version. Under SWMR the writer must hold the
 // latest version; a mismatch is a coherence bug.
 func (g *global) write(node msg.NodeID, addr msg.Addr, held uint64) uint64 {
+	if g.shared {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+	}
 	if g.check && held != g.latest[addr] {
 		panic(fmt.Sprintf("core: node %d writes %#x holding version %d, latest is %d (stale-write coherence violation)",
 			node, uint64(addr), held, g.latest[addr]))
@@ -50,6 +64,10 @@ func (g *global) observe(node msg.NodeID, addr msg.Addr, v uint64) {
 	if !g.check {
 		return
 	}
+	if g.shared {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+	}
 	k := observedKey{node, addr}
 	if prev, ok := g.observed[k]; ok && v < prev {
 		panic(fmt.Sprintf("core: node %d observed version %d of %#x after version %d (coherence went backwards)",
@@ -60,11 +78,21 @@ func (g *global) observe(node msg.NodeID, addr msg.Addr, v uint64) {
 
 // latestVersion reports the newest written version of addr (0 if never
 // written).
-func (g *global) latestVersion(addr msg.Addr) uint64 { return g.latest[addr] }
+func (g *global) latestVersion(addr msg.Addr) uint64 {
+	if g.shared {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+	}
+	return g.latest[addr]
+}
 
 // writtenLines returns every line the oracle has seen written, in address
 // order (deterministic for error reporting).
 func (g *global) writtenLines() []msg.Addr {
+	if g.shared {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+	}
 	out := make([]msg.Addr, 0, len(g.latest))
 	for a := range g.latest {
 		out = append(out, a)

@@ -275,8 +275,15 @@ func (h *Hub) consumerUpdate(m *msg.Message) {
 	// Link-level delivery notification: the producer's hub learns its
 	// push was consumed without a protocol-level message (NUMALink-class
 	// fabrics acknowledge at the link layer). This is what keeps further
-	// writes to the line ordered behind outstanding pushes.
-	defer h.sys.Hubs[m.Src].updateDelivered(m)
+	// writes to the line ordered behind outstanding pushes. It is also
+	// the one direct hub-to-hub touch in the protocol: when the producer
+	// lives on another shard the call is staged and injected at the next
+	// window barrier instead of mutating remote state mid-window.
+	if src := h.sys.Hubs[m.Src]; src.eng == h.eng {
+		defer src.updateDelivered(m)
+	} else {
+		h.sys.deferUpdateDelivered(h.id, m.Src, m.Addr)
+	}
 
 	if ms := h.mshr(m.Addr); ms != nil {
 		if !ms.wantExcl {
@@ -319,17 +326,22 @@ func (h *Hub) consumerUpdate(m *msg.Message) {
 
 // updateDelivered retires one in-flight update push (link-level, see
 // consumerUpdate).
-func (h *Hub) updateDelivered(m *msg.Message) {
+func (h *Hub) updateDelivered(m *msg.Message) { h.updateDeliveredLine(m.Addr) }
+
+// updateDeliveredLine is updateDelivered by line address — the form the
+// cross-shard barrier injection uses (the message itself is long since
+// back in its pool by then).
+func (h *Hub) updateDeliveredLine(addr msg.Addr) {
 	if h.prod != nil {
-		if pe := h.prod.Peek(m.Addr); pe != nil {
+		if pe := h.prod.Peek(addr); pe != nil {
 			if pe.Dir.UpdatesInFlight > 0 {
 				pe.Dir.UpdatesInFlight--
 			}
 			return
 		}
 	}
-	if home, ok := h.mm.HomeIfPlaced(m.Addr); ok && home == h.id {
-		e := h.dir.Entry(m.Addr)
+	if home, ok := h.mm.HomeIfPlaced(addr); ok && home == h.id {
+		e := h.dir.Entry(addr)
 		if e.UpdatesInFlight > 0 {
 			e.UpdatesInFlight--
 		}

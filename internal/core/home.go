@@ -91,7 +91,7 @@ func (h *Hub) homeRead(req *msg.Message, e *directory.Entry, det *predictor.Dete
 		e.PendingExcl = false
 		e.PendingTxn = req.Txn
 		h.st.Interventions++
-		if o := h.sys.Obs; o != nil {
+		if o := h.obs; o != nil {
 			o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindIntervention, Node: h.id,
 				Addr: req.Addr, Arg: uint64(e.Owner), Arg2: 0})
 		}
@@ -140,7 +140,7 @@ func (h *Hub) homeWrite(req *msg.Message, e *directory.Entry, det *predictor.Det
 		if marked := det.OnWrite(req.Requester); marked {
 			e.PC = true
 			h.st.PCLinesMarked++
-			if o := h.sys.Obs; o != nil {
+			if o := h.obs; o != nil {
 				o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindPCDetect, Node: h.id, Addr: req.Addr})
 			}
 		}
@@ -153,7 +153,7 @@ func (h *Hub) homeWrite(req *msg.Message, e *directory.Entry, det *predictor.Det
 		// pattern with a remote producer hands the directory to it.
 		if h.cfg.DelegateEntries > 0 && det.IsProducerConsumer() && req.Requester != h.id {
 			h.st.Delegations++
-			if o := h.sys.Obs; o != nil {
+			if o := h.obs; o != nil {
 				o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindDelegate, Node: h.id,
 					Addr: req.Addr, Arg: uint64(req.Requester)})
 			}
@@ -388,7 +388,7 @@ func (h *Hub) homeUndelegate(m *msg.Message) {
 	if e.State != directory.Dele || e.Owner != m.Src {
 		panic(fmt.Sprintf("core: Undelegate from %d in state %s owner=%d", m.Src, e.State, e.Owner))
 	}
-	if o := h.sys.Obs; o != nil {
+	if o := h.obs; o != nil {
 		o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindUndelegateCommit, Node: h.id,
 			Addr: m.Addr, Arg: uint64(m.Src)})
 	}
@@ -459,7 +459,7 @@ func (h *Hub) fireIntervention(addr msg.Addr, e *directory.Entry, seq uint64, de
 	switch {
 	case e.State == directory.Excl && e.Owner == h.id:
 		h.st.Interventions++
-		if o := h.sys.Obs; o != nil {
+		if o := h.obs; o != nil {
 			o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindIntervention, Node: h.id,
 				Addr: addr, Arg: uint64(h.id), Arg2: 1})
 		}
@@ -575,7 +575,7 @@ func (h *Hub) pushUpdates(addr msg.Addr, e *directory.Entry, targets msg.Vector,
 		c := vec.Lowest()
 		h.st.UpdatesSent++
 		e.UpdatesInFlight++
-		if o := h.sys.Obs; o != nil {
+		if o := h.obs; o != nil {
 			o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindUpdatePush, Node: h.id,
 				Addr: addr, Arg: uint64(c), Arg2: v})
 		}

@@ -28,6 +28,10 @@ type Hub struct {
 	mm  *mem.Memory
 	st  *stats.Stats
 	gl  *global
+	// obs receives this hub's protocol events: the system sink when
+	// single-engine, the hub's shard staging buffer when sharded, nil
+	// when observability is off (AttachObs wires it either way).
+	obs *obs.Sink
 
 	l1   *cache.Cache
 	l2   *cache.Cache
@@ -149,7 +153,7 @@ func newHub(sys *System, id msg.NodeID, st *stats.Stats) *Hub {
 		id:   id,
 		sys:  sys,
 		cfg:  cfg,
-		eng:  sys.Eng,
+		eng:  sys.EngFor(id),
 		net:  sys.Net,
 		mm:   sys.Mem,
 		st:   st,
@@ -213,7 +217,7 @@ func (h *Hub) emitAfter(d sim.Time, tmpl msg.Message) {
 // both the run statistics and the observability stream.
 func (h *Hub) noteUpdateUseful(addr msg.Addr, version uint64) {
 	h.st.UpdatesUseful++
-	if o := h.sys.Obs; o != nil {
+	if o := h.obs; o != nil {
 		o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindUpdateHit, Node: h.id, Addr: addr, Arg2: version})
 	}
 }
@@ -222,7 +226,7 @@ func (h *Hub) noteUpdateUseful(addr msg.Addr, version uint64) {
 // (overwritten, evicted, or refused for lack of RAC space).
 func (h *Hub) noteUpdateWasted(addr msg.Addr) {
 	h.st.UpdatesWasted++
-	if o := h.sys.Obs; o != nil {
+	if o := h.obs; o != nil {
 		o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindUpdateWaste, Node: h.id, Addr: addr})
 	}
 }
@@ -484,7 +488,7 @@ func (h *Hub) startMiss(addr, line msg.Addr, write bool, done func()) {
 	}
 	m := &mshr{addr: line, wantExcl: write, done: done, acksNeeded: -1}
 	h.mshrs.Put(uint64(line), m)
-	if o := h.sys.Obs; o != nil {
+	if o := h.obs; o != nil {
 		var w uint64
 		if write {
 			w = 1
@@ -571,7 +575,7 @@ func (h *Hub) tryComplete(m *mshr) {
 	h.mshrs.Delete(uint64(m.addr))
 	cls := m.class()
 	h.st.RecordMiss(cls)
-	if o := h.sys.Obs; o != nil {
+	if o := h.obs; o != nil {
 		o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindMissEnd, Node: h.id, Addr: m.addr,
 			Arg: uint64(h.mshrs.Len()), Arg2: uint64(cls)})
 	}

@@ -7,6 +7,8 @@ package cpu
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"pccsim/internal/msg"
 	"pccsim/internal/sim"
@@ -63,17 +65,41 @@ type FuncStream func() (Op, bool)
 // Next calls the generator.
 func (f FuncStream) Next() (Op, bool) { return f() }
 
-// BarrierSet materializes barrier objects per identifier.
+// BarrierSet materializes barrier objects per identifier. A single-engine
+// set (NewBarrierSet) releases immediately in arrival order; a sharded
+// set (NewShardedBarrierSet) accepts arrivals from any shard goroutine
+// under a mutex and defers releases to Flush, which the machine runs at
+// every window barrier.
 type BarrierSet struct {
 	eng     *sim.Engine
 	parties int
 	latency sim.Time
 	bars    map[int]*barrier
+
+	// Sharded mode: engFor maps a core to its shard's engine (nil on a
+	// single engine); mu guards bars and releases between shards.
+	engFor   func(msg.NodeID) *sim.Engine
+	mu       sync.Mutex
+	releases []release
 }
 
 type barrier struct {
 	arrived int
-	waiters []func()
+	maxAt   sim.Time
+	waiters []waiter
+}
+
+type waiter struct {
+	core   msg.NodeID
+	resume func()
+}
+
+// release is one completed barrier awaiting Flush: every party has
+// arrived, the latest arrival was at time at.
+type release struct {
+	id      int
+	at      sim.Time
+	waiters []waiter
 }
 
 // NewBarrierSet creates barriers over parties cores with the given
@@ -83,24 +109,82 @@ func NewBarrierSet(eng *sim.Engine, parties int, latency sim.Time) *BarrierSet {
 	return &BarrierSet{eng: eng, parties: parties, latency: latency, bars: make(map[int]*barrier)}
 }
 
-// Arrive registers a core at barrier id; resume runs once all parties have
+// NewShardedBarrierSet creates a barrier set for a sharded machine:
+// arrivals come from different shard goroutines, so they synchronize on
+// a mutex, and releases are deferred to Flush (register it as a window-
+// barrier hook). Resumes are scheduled at the latest arrival time plus
+// the release latency — the same instant the single-engine set releases
+// at — ordered by core id, so the serial and parallel schedulers release
+// identically.
+func NewShardedBarrierSet(engFor func(msg.NodeID) *sim.Engine, parties int, latency sim.Time) *BarrierSet {
+	return &BarrierSet{engFor: engFor, parties: parties, latency: latency, bars: make(map[int]*barrier)}
+}
+
+// Arrive registers core at barrier id; resume runs once all parties have
 // arrived. Barriers are reusable: the generation resets on release.
-func (s *BarrierSet) Arrive(id int, resume func()) {
+func (s *BarrierSet) Arrive(id int, core msg.NodeID, resume func()) {
+	if s.engFor == nil {
+		b := s.bars[id]
+		if b == nil {
+			b = &barrier{}
+			s.bars[id] = b
+		}
+		b.arrived++
+		b.waiters = append(b.waiters, waiter{core: core, resume: resume})
+		if b.arrived < s.parties {
+			return
+		}
+		waiters := b.waiters
+		b.arrived = 0
+		b.waiters = nil
+		for _, w := range waiters {
+			s.eng.After(s.latency, w.resume)
+		}
+		return
+	}
+	now := s.engFor(core).Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	b := s.bars[id]
 	if b == nil {
 		b = &barrier{}
 		s.bars[id] = b
 	}
 	b.arrived++
-	b.waiters = append(b.waiters, resume)
+	if now > b.maxAt {
+		b.maxAt = now
+	}
+	b.waiters = append(b.waiters, waiter{core: core, resume: resume})
 	if b.arrived < s.parties {
 		return
 	}
-	waiters := b.waiters
-	b.arrived = 0
-	b.waiters = nil
-	for _, w := range waiters {
-		s.eng.After(s.latency, w)
+	s.releases = append(s.releases, release{id: id, at: b.maxAt, waiters: b.waiters})
+	b.arrived, b.maxAt, b.waiters = 0, 0, nil
+}
+
+// Flush schedules the resumes of every barrier completed during the last
+// window. It must run at a window barrier (no shard executing); a core's
+// resume lands on its own shard's engine at the release time, which that
+// engine clamps into its present if it has already advanced past it.
+func (s *BarrierSet) Flush() {
+	s.mu.Lock()
+	rel := s.releases
+	s.releases = nil
+	s.mu.Unlock()
+	if len(rel) == 0 {
+		return
+	}
+	// Arrival order within a window is scheduler-dependent; (barrier id,
+	// core id) order is not. Same-id entries cannot collide: a barrier's
+	// next generation needs every resumed core to run again first, which
+	// can only happen in a later window.
+	sort.SliceStable(rel, func(i, j int) bool { return rel[i].id < rel[j].id })
+	for _, r := range rel {
+		ws := r.waiters
+		sort.SliceStable(ws, func(i, j int) bool { return ws[i].core < ws[j].core })
+		for _, w := range ws {
+			s.engFor(w.core).Schedule(r.at+s.latency, w.resume)
+		}
 	}
 }
 
@@ -193,7 +277,7 @@ func (c *CPU) step() {
 				c.fenceBar = op.Bar
 				return // the last store retirement arrives at the barrier
 			}
-			c.bars.Arrive(op.Bar, c.stepFn)
+			c.bars.Arrive(op.Bar, c.id, c.stepFn)
 			return
 		default:
 			panic(fmt.Sprintf("cpu: core %d got unknown op kind %d", c.id, op.Kind))
@@ -217,6 +301,6 @@ func (c *CPU) storeRetired() {
 	}
 	if c.fencing && c.outstanding == 0 {
 		c.fencing = false
-		c.bars.Arrive(c.fenceBar, c.stepFn)
+		c.bars.Arrive(c.fenceBar, c.id, c.stepFn)
 	}
 }

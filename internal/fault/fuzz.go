@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"pccsim/internal/core"
@@ -30,6 +31,14 @@ type Machine struct {
 	Adaptive        bool `json:"adaptive,omitempty"`
 	SelfInvalidate  bool `json:"self_invalidate,omitempty"`
 	DetectorWriters int  `json:"detector_writers,omitempty"`
+
+	// Shards records the engine partitioning the case runs under (0 =
+	// the legacy single engine) and Parallel the scheduler (false = the
+	// deterministic serial round-robin). Both are part of the repro: a
+	// failure found on a sharded machine must replay on one. Shards is
+	// never omitted from JSON so every committed repro states its mode.
+	Shards   int  `json:"shards"`
+	Parallel bool `json:"parallel,omitempty"`
 
 	// InterventionDelay in cycles (0 = the protocol default of 50);
 	// NoIntervention disables the delayed intervention entirely.
@@ -118,6 +127,9 @@ func (c *Case) Validate() error {
 	if m.L2Lines < 2 {
 		return fmt.Errorf("fault: L2 needs at least two lines")
 	}
+	if m.Shards < 0 || m.Shards > m.Nodes {
+		return fmt.Errorf("fault: machine shards = %d, want 0..%d", m.Shards, m.Nodes)
+	}
 	if m.DelegateEntries > 0 && m.RACLines == 0 {
 		return fmt.Errorf("fault: delegation requires a RAC")
 	}
@@ -164,6 +176,8 @@ func (c *Case) BuildConfig() core.Config {
 	} else if m.InterventionDelay > 0 {
 		cfg.InterventionDelay = sim.Time(m.InterventionDelay)
 	}
+	cfg.Shards = m.Shards
+	cfg.ShardsParallel = m.Parallel && m.Shards > 1
 	cfg.CheckInvariants = true
 	cfg.WatchdogSteps = c.watchdogSteps()
 	return cfg
@@ -225,14 +239,35 @@ func (c *Case) run(sink *obs.Sink) (res Result) {
 	if sink != nil {
 		sys.AttachObs(sink)
 	}
-	var inj *Injector
+	// On a sharded system every shard gets a private injector (shard 0
+	// keeps the case seed, the rest derive theirs), because an injector's
+	// RNG and rule budgets are consulted from the owning shard's
+	// goroutine. Per-shard streams stay deterministic under both
+	// schedulers; total perturbations legitimately differ from an
+	// unsharded replay of the same case.
+	var injs []*Injector
 	if c.Faults.Enabled() {
-		inj, err = NewInjector(c.Faults)
-		if err != nil {
-			res.Failure = "faults: " + err.Error()
-			return res
+		shards := 1
+		if sys.Sharded() {
+			shards = sys.Group().Shards()
 		}
-		sys.Net.Chaos = inj
+		injs = make([]*Injector, shards)
+		for s := range injs {
+			fc := c.Faults
+			if s > 0 {
+				fc.Seed ^= int64(uint64(s) * 0x9E3779B97F4A7C15)
+			}
+			injs[s], err = NewInjector(fc)
+			if err != nil {
+				res.Failure = "faults: " + err.Error()
+				return res
+			}
+			if sys.Sharded() {
+				sys.Net.SetShardChaos(s, injs[s])
+			} else {
+				sys.Net.Chaos = injs[s]
+			}
+		}
 	}
 	// Stripe the pool homes so they are independent of op order.
 	for i := 0; i < c.Machine.Lines; i++ {
@@ -241,11 +276,11 @@ func (c *Case) run(sink *obs.Sink) (res Result) {
 
 	start := time.Now()
 	defer func() {
-		res.Events = sys.Eng.Steps()
-		res.Cycles = uint64(sys.Eng.Now())
+		res.Events = sys.Steps()
+		res.Cycles = uint64(sys.Now())
 		res.Wall = time.Since(start)
-		if inj != nil {
-			res.Perturbations = inj.Perturbations()
+		for _, inj := range injs {
+			res.Perturbations += inj.Perturbations()
 		}
 		agg := sys.Aggregate()
 		res.Nacks = agg.Nacks()
@@ -260,23 +295,25 @@ func (c *Case) run(sink *obs.Sink) (res Result) {
 		}
 	}()
 
-	completed := 0
+	// Ops land on the engine owning their node, and completions from
+	// different shard goroutines count atomically.
+	var completed atomic.Int64
 	for _, op := range c.Ops {
 		node, addr, write := msg.NodeID(op.Node), LineAddr(op.Line), op.Write
-		sys.Eng.Schedule(sim.Time(op.At), func() {
-			sys.Access(node, addr, write, func() { completed++ })
+		sys.EngFor(node).Schedule(sim.Time(op.At), func() {
+			sys.Access(node, addr, write, func() { completed.Add(1) })
 		})
 	}
 
 	if _, err := sys.RunGuarded(); err != nil {
-		res.Completed = completed
+		res.Completed = int(completed.Load())
 		res.Failure = fmt.Sprintf("watchdog (fault seed %d): %v", c.Faults.Seed, err)
 		return res
 	}
-	res.Completed = completed
-	if completed != len(c.Ops) {
+	res.Completed = int(completed.Load())
+	if res.Completed != len(c.Ops) {
 		res.Failure = fmt.Sprintf("deadlock (fault seed %d): %d/%d ops incomplete; outstanding per node: %s",
-			c.Faults.Seed, len(c.Ops)-completed, len(c.Ops), outstanding(sys))
+			c.Faults.Seed, len(c.Ops)-res.Completed, len(c.Ops), outstanding(sys))
 		return res
 	}
 	if err := sys.QuiesceCheck(); err != nil {

@@ -71,6 +71,19 @@ func genMachine(rng *rand.Rand, opts GenOpts) Machine {
 	} else if rng.Intn(2) == 0 {
 		m.InterventionDelay = []uint64{5, 20, 50, 150, 400}[rng.Intn(5)]
 	}
+	// A third of the cases run on the sharded engine, half of those on
+	// the parallel scheduler, so the races a schedule opens are also
+	// stressed across conservative window boundaries (and with the
+	// watchdog, quiesce, value-verification and invariant machinery all
+	// armed against the sharded code paths).
+	if rng.Intn(100) < 30 {
+		maxShards := m.Nodes
+		if maxShards > 4 {
+			maxShards = 4
+		}
+		m.Shards = 2 + rng.Intn(maxShards-1)
+		m.Parallel = rng.Intn(2) == 0
+	}
 	return m
 }
 

@@ -1,0 +1,51 @@
+package fault
+
+import "testing"
+
+// TestCorpusReplayAcrossSchedulers replays every committed reproduction
+// on sharded machines. Each case must stay clean at every shard count —
+// the races they pin are timing-window races, and the sharded engine
+// must resolve them just as coherently — and the parallel scheduler's
+// verdict must equal the deterministic serial one bit for bit (the
+// fuzz-level form of the engine's serial/parallel equivalence gate).
+func TestCorpusReplayAcrossSchedulers(t *testing.T) {
+	cases, names, err := LoadCorpus("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cases {
+		for _, shards := range []int{2, 4} {
+			det := c
+			det.Machine.Shards, det.Machine.Parallel = shards, false
+			fast := c
+			fast.Machine.Shards, fast.Machine.Parallel = shards, true
+			dres, fres := det.Run(), fast.Run()
+			if !dres.Ok {
+				t.Errorf("%s at %d shards (serial): %s", names[i], shards, dres.Failure)
+			}
+			dres.Wall, fres.Wall = 0, 0
+			if dres != fres {
+				t.Errorf("%s at %d shards: parallel verdict diverges from serial\nserial:   %+v\nparallel: %+v",
+					names[i], shards, dres, fres)
+			}
+		}
+	}
+}
+
+// TestCaseValidateShards pins the shard bounds a hand-edited repro must
+// satisfy.
+func TestCaseValidateShards(t *testing.T) {
+	c := Case{Machine: Machine{Nodes: 4, Lines: 1, L2Lines: 4}}
+	c.Machine.Shards = 5
+	if err := c.Validate(); err == nil {
+		t.Fatal("shards > nodes accepted")
+	}
+	c.Machine.Shards = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative shards accepted")
+	}
+	c.Machine.Shards = 4
+	if err := c.Validate(); err != nil {
+		t.Fatalf("shards == nodes rejected: %v", err)
+	}
+}

@@ -31,6 +31,17 @@ type Options struct {
 	Scale int // workload problem-size multiplier
 	Iters int // workload iteration override (0 = per-workload default)
 
+	// Shards partitions each simulated machine into engine shards (0 =
+	// the legacy single engine). Sharded timings differ slightly from
+	// unsharded ones (conservative-window barrier release, pre-resolved
+	// first-touch), so the count is part of the report identity.
+	Shards int `json:",omitempty"`
+	// Deterministic forces the serial round-robin shard scheduler even
+	// for Shards > 1. It never changes results — the parallel scheduler
+	// is gated to produce identical stats — so it is not part of the
+	// report identity.
+	Deterministic bool `json:"-"`
+
 	// Parallel is the scheduler's worker-pool size; 0 means GOMAXPROCS.
 	// It affects only wall time, never results, and is therefore not
 	// part of the report identity (excluded from JSON).
@@ -136,8 +147,12 @@ func MustRun(cfg core.Config, wl *workload.Workload, p workload.Params) *stats.S
 	return st
 }
 
-// job builds one runner job for this session's parameters.
+// job builds one runner job for this session's parameters. Shard options
+// apply here, centrally, so every experiment cell of a sharded session
+// runs on the same engine partitioning.
 func (s *Session) job(label string, cfg core.Config, wl *workload.Workload) runner.Job {
+	cfg.Shards = s.Opts.Shards
+	cfg.ShardsParallel = s.Opts.Shards > 1 && !s.Opts.Deterministic
 	return runner.Job{Label: label, Cfg: cfg, Workload: wl, Params: s.Opts.params()}
 }
 

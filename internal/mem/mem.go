@@ -4,7 +4,11 @@
 // access timing.
 package mem
 
-import "pccsim/internal/msg"
+import (
+	"sync"
+
+	"pccsim/internal/msg"
+)
 
 // Policy selects how pages are assigned home nodes.
 type Policy uint8
@@ -20,8 +24,13 @@ const (
 )
 
 // Memory is the global memory image: page homes and line versions. One
-// Memory is shared by all nodes of a simulated system.
+// Memory is shared by all nodes of a simulated system. On a sharded
+// system the page table is consulted concurrently, so lookups take a
+// read-lock once sharing is enabled (EnableSharedAccess); a
+// single-engine system stays lock-free.
 type Memory struct {
+	mu        sync.RWMutex
+	shared    bool
 	policy    Policy
 	pageBytes uint64
 	nodes     int
@@ -48,13 +57,40 @@ func New(policy Policy, nodes, pageBytes int) *Memory {
 // PageBytes returns the placement granularity.
 func (m *Memory) PageBytes() int { return int(m.pageBytes) }
 
+// EnableSharedAccess arms the page-table lock; call before any
+// concurrent use. First-touch assignment remains well-defined under
+// concurrency only when no two nodes race to first-touch the same page —
+// the workloads guarantee that by separating placement phases with
+// barriers and padding per-owner data to whole pages.
+func (m *Memory) EnableSharedAccess() { m.shared = true }
+
 // Home returns the home node of addr, assigning it on first touch by
 // toucher (first-touch policy) or round-robin, per the configured policy.
 func (m *Memory) Home(addr msg.Addr, toucher msg.NodeID) msg.NodeID {
 	page := uint64(addr) / m.pageBytes
+	if m.shared {
+		m.mu.RLock()
+		h, ok := m.pages[page]
+		m.mu.RUnlock()
+		if ok {
+			return h
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if h, ok := m.pages[page]; ok {
+			return h
+		}
+		return m.assignLocked(page, toucher)
+	}
 	if h, ok := m.pages[page]; ok {
 		return h
 	}
+	return m.assignLocked(page, toucher)
+}
+
+// assignLocked applies the placement policy to an untouched page; the
+// caller holds the write lock in shared mode.
+func (m *Memory) assignLocked(page uint64, toucher msg.NodeID) msg.NodeID {
 	var h msg.NodeID
 	switch m.policy {
 	case FirstTouch:
@@ -69,6 +105,10 @@ func (m *Memory) Home(addr msg.Addr, toucher msg.NodeID) msg.NodeID {
 
 // HomeIfPlaced returns the home of addr without assigning one.
 func (m *Memory) HomeIfPlaced(addr msg.Addr) (msg.NodeID, bool) {
+	if m.shared {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+	}
 	h, ok := m.pages[uint64(addr)/m.pageBytes]
 	return h, ok
 }
@@ -76,11 +116,19 @@ func (m *Memory) HomeIfPlaced(addr msg.Addr) (msg.NodeID, bool) {
 // Place explicitly homes the page containing addr at node (used by
 // workloads that model an initialized data distribution).
 func (m *Memory) Place(addr msg.Addr, node msg.NodeID) {
+	if m.shared {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
 	m.pages[uint64(addr)/m.pageBytes] = node
 }
 
 // PlaceRange homes every page overlapping [addr, addr+n) at node.
 func (m *Memory) PlaceRange(addr msg.Addr, n int, node msg.NodeID) {
+	if m.shared {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
 	first := uint64(addr) / m.pageBytes
 	last := (uint64(addr) + uint64(n) - 1) / m.pageBytes
 	for p := first; p <= last; p++ {
@@ -89,4 +137,10 @@ func (m *Memory) PlaceRange(addr msg.Addr, n int, node msg.NodeID) {
 }
 
 // Pages returns how many pages have been placed.
-func (m *Memory) Pages() int { return len(m.pages) }
+func (m *Memory) Pages() int {
+	if m.shared {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+	}
+	return len(m.pages)
+}

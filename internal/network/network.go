@@ -102,6 +102,11 @@ type Network struct {
 	Obs *obs.Sink
 	// Chaos, when non-nil, perturbs delivery for fault-injection runs.
 	Chaos Chaos
+
+	// Sharded-mode state (nil on a single-engine network): the shard
+	// owning each node, and per-shard interconnect slices. See shard.go.
+	shardOf []int
+	sh      []*shardEnv
 }
 
 // New creates a network over eng collecting into st.
@@ -134,8 +139,18 @@ func (n *Network) Register(id msg.NodeID, h Handler) {
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// InFlight reports the number of messages currently traveling.
-func (n *Network) InFlight() int { return n.inFlight }
+// InFlight reports the number of messages currently traveling (summed
+// over shards in sharded mode, including staged mailbox entries).
+func (n *Network) InFlight() int {
+	if n.sh != nil {
+		t := 0
+		for _, e := range n.sh {
+			t += e.inFlight
+		}
+		return t
+	}
+	return n.inFlight
+}
 
 // Hops returns the number of router-to-router hops between two nodes in
 // the fat tree: 0 for a node to itself, 1 between nodes under the same leaf
@@ -172,10 +187,14 @@ func (n *Network) HandleMsgEvent(op uint8, m *msg.Message) {
 	case opArrive:
 		// Destination port reservation happens on arrival so that port
 		// time reflects actual arrival order.
+		eng := n.eng
+		if n.sh != nil {
+			eng = n.envAt(m.Dst).eng
+		}
 		ser := n.serTime(m)
-		at := maxTime(n.eng.Now(), n.ingress[m.Dst])
+		at := maxTime(eng.Now(), n.ingress[m.Dst])
 		n.ingress[m.Dst] = at + ser
-		n.eng.ScheduleMsg(at+ser, n, opDeliver, m)
+		eng.ScheduleMsg(at+ser, n, opDeliver, m)
 	case opDeliver:
 		n.deliver(m)
 	}
@@ -188,6 +207,10 @@ func (n *Network) HandleMsgEvent(op uint8, m *msg.Message) {
 func (n *Network) Send(m *msg.Message) {
 	if int(m.Dst) < 0 || int(m.Dst) >= n.cfg.Nodes {
 		panic(fmt.Sprintf("network: message to invalid node: %s", m))
+	}
+	if n.sh != nil {
+		n.sendSharded(m)
+		return
 	}
 	n.st.RecordMsg(m)
 	now := n.eng.Now()
@@ -213,8 +236,16 @@ func (n *Network) Send(m *msg.Message) {
 }
 
 func (n *Network) deliver(m *msg.Message) {
-	if n.Chaos != nil {
-		switch n.Chaos.Verdict(n.eng.Now(), m) {
+	// In sharded mode the destination shard's env supplies the clock,
+	// fault injector and in-flight counter.
+	eng, ch := n.eng, n.Chaos
+	var e *shardEnv
+	if n.sh != nil {
+		e = n.envAt(m.Dst)
+		eng, ch = e.eng, e.chaos
+	}
+	if ch != nil {
+		switch ch.Verdict(eng.Now(), m) {
 		case Bounce:
 			if m.Type.IsRequest() {
 				// Reuse the in-flight packet as the NACK: same address,
@@ -223,7 +254,7 @@ func (n *Network) deliver(m *msg.Message) {
 				// requester. The requester cannot tell this apart from
 				// a busy-home NACK, so it retries — the legal
 				// resolution of every race in this protocol.
-				n.inFlight--
+				n.decInFlight(e)
 				from := m.Dst
 				m.Type = msg.Nack
 				m.Src, m.Dst = from, m.Requester
@@ -231,17 +262,27 @@ func (n *Network) deliver(m *msg.Message) {
 				return
 			}
 		case Drop:
-			n.inFlight--
-			n.eng.FreeMsg(m)
+			n.decInFlight(e)
+			eng.FreeMsg(m)
 			return
 		}
 	}
-	n.inFlight--
+	n.decInFlight(e)
 	h := n.handlers[m.Dst]
 	if h == nil {
 		panic(fmt.Sprintf("network: no handler registered for node %d (msg %s)", m.Dst, m))
 	}
 	h(m)
+}
+
+// decInFlight retires one traveling message: on the destination shard's
+// counter when sharded (e non-nil), else the global one.
+func (n *Network) decInFlight(e *shardEnv) {
+	if e != nil {
+		e.inFlight--
+		return
+	}
+	n.inFlight--
 }
 
 func maxTime(a, b sim.Time) sim.Time {

@@ -48,14 +48,62 @@ func New(cfg core.Config, opts ...Option) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{
-		Sys:  sys,
-		Bars: cpu.NewBarrierSet(sys.Eng, cfg.Nodes, cfg.BarrierLatency),
+	m := &Machine{Sys: sys}
+	if sys.Sharded() {
+		// Cores arrive at barriers from different shard goroutines;
+		// completed barriers release at the group's window boundaries.
+		m.Bars = cpu.NewShardedBarrierSet(sys.EngFor, cfg.Nodes, cfg.BarrierLatency)
+		sys.Group().OnBarrier(m.Bars.Flush)
+	} else {
+		m.Bars = cpu.NewBarrierSet(sys.Eng, cfg.Nodes, cfg.BarrierLatency)
 	}
 	for _, o := range opts {
 		o(m)
 	}
 	return m, nil
+}
+
+// preplaceFirstTouch resolves first-touch page placement ahead of a
+// sharded run. On one engine simulated time totally orders every access,
+// so dynamic first touch is well-defined; across shards two nodes can
+// first-touch the same page inside one conservative time window (barnes'
+// octree build does exactly that: a cell array's pages are stored by both
+// the owner and a remote builder before the first barrier), and the
+// winner would depend on which shard the scheduler ran first — breaking
+// serial/parallel equivalence. Pre-resolving with a scheduler-independent
+// rule — earliest barrier epoch wins, ties to the lowest node id — keeps
+// placement identical under every scheduler and shard count. Lazy streams
+// cannot be pre-scanned; they keep dynamic first touch, which stays
+// deterministic as long as their first touches are barrier-separated.
+func (m *Machine) preplaceFirstTouch(streams []cpu.Stream) {
+	type claim struct {
+		epoch int
+		node  msg.NodeID
+	}
+	mask := ^msg.Addr(m.Sys.Mem.PageBytes() - 1)
+	best := make(map[msg.Addr]claim)
+	for i, s := range streams {
+		ss, ok := s.(*cpu.SliceStream)
+		if !ok {
+			return
+		}
+		epoch := 0
+		for _, op := range ss.Ops {
+			switch op.Kind {
+			case cpu.Barrier:
+				epoch++
+			case cpu.Load, cpu.Store:
+				page := op.Addr & mask
+				c, seen := best[page]
+				if !seen || epoch < c.epoch || (epoch == c.epoch && msg.NodeID(i) < c.node) {
+					best[page] = claim{epoch: epoch, node: msg.NodeID(i)}
+				}
+			}
+		}
+	}
+	for page, c := range best {
+		m.Sys.Mem.Place(page, c.node)
+	}
 }
 
 // Run executes one stream per node to completion and returns aggregated
@@ -68,9 +116,12 @@ func (m *Machine) Run(streams []cpu.Stream) (*stats.Stats, error) {
 	if len(streams) != m.Sys.Cfg.Nodes {
 		return nil, fmt.Errorf("node: %d streams for %d nodes", len(streams), m.Sys.Cfg.Nodes)
 	}
+	if m.Sys.Sharded() {
+		m.preplaceFirstTouch(streams)
+	}
 	m.CPUs = make([]*cpu.CPU, len(streams))
 	for i, s := range streams {
-		m.CPUs[i] = cpu.New(m.Sys.Eng, msg.NodeID(i), m.Sys.Hubs[i], s, m.Bars, m.Sys.Cfg.MaxStores)
+		m.CPUs[i] = cpu.New(m.Sys.EngFor(msg.NodeID(i)), msg.NodeID(i), m.Sys.Hubs[i], s, m.Bars, m.Sys.Cfg.MaxStores)
 		m.CPUs[i].Start()
 	}
 	if _, err := m.Sys.RunGuarded(); err != nil {

@@ -1,0 +1,72 @@
+package node
+
+import (
+	"reflect"
+	"testing"
+
+	"pccsim/internal/core"
+	"pccsim/internal/cpu"
+	"pccsim/internal/stats"
+	"pccsim/internal/workload"
+)
+
+// runSharded executes one workload on a fresh machine with the given
+// shard configuration and returns the aggregated stats.
+func runSharded(t *testing.T, wl *workload.Workload, shards int, parallel bool) *stats.Stats {
+	t.Helper()
+	cfg := core.DefaultConfig().With(
+		core.WithRAC(32), core.WithDelegation(32), core.WithSpeculativeUpdates(0))
+	cfg.CheckInvariants = true
+	cfg.WatchdogSteps = 50_000_000
+	cfg.Shards = shards
+	cfg.ShardsParallel = parallel
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("shards=%d parallel=%v: %v", shards, parallel, err)
+	}
+	ops := wl.Build(workload.Params{Nodes: cfg.Nodes, Iters: 1})
+	streams := make([]cpu.Stream, len(ops))
+	for i := range ops {
+		streams[i] = &cpu.SliceStream{Ops: ops[i]}
+	}
+	st, err := m.Run(streams)
+	if err != nil {
+		t.Fatalf("%s shards=%d parallel=%v: %v", wl.Name, shards, parallel, err)
+	}
+	return st
+}
+
+// TestShardEquivalenceAllWorkloads asserts the acceptance property of the
+// sharded engine: for every workload and every shard count, the parallel
+// scheduler's end-state Stats are identical to the deterministic serial
+// scheduler's — same misses, same messages, same cycles, everything.
+func TestShardEquivalenceAllWorkloads(t *testing.T) {
+	shardCounts := []int{2, 4, 8}
+	if testing.Short() {
+		shardCounts = []int{4}
+	}
+	for _, wl := range workload.All() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, shards := range shardCounts {
+				det := runSharded(t, wl, shards, false)
+				fast := runSharded(t, wl, shards, true)
+				if !reflect.DeepEqual(det, fast) {
+					t.Errorf("%s at %d shards: parallel stats diverge from deterministic\nserial:   %+v\nparallel: %+v",
+						wl.Name, shards, det, fast)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedSmoke runs one workload across the full shard-count range,
+// including the single-shard degenerate group, and checks the run
+// completes with coherent end state (Run already quiesce-checks).
+func TestShardedSmoke(t *testing.T) {
+	wl, _ := workload.ByName("em3d")
+	for _, shards := range []int{2, 16} {
+		runSharded(t, wl, shards, true)
+	}
+}

@@ -137,7 +137,9 @@ type Sink struct {
 	next      int
 	wrapped   bool
 	unbounded bool
+	buffer    bool
 	total     uint64
+	staged    []Event
 }
 
 // NewSink returns a sink retaining events per capacity: capacity > 0 keeps
@@ -156,10 +158,33 @@ func NewSink(capacity int) *Sink {
 	return s
 }
 
+// NewBuffer returns a sink in staging mode, used as one shard's private
+// event buffer on the sharded scheduler. Emit only appends to an internal
+// slice — no ring, no metrics, no tap — so events can be re-emitted into
+// the real user sink at a window barrier without double-counting. The
+// owning shard emits during a window; the coordinator drains with
+// Buffered/ResetBuffer between windows.
+func NewBuffer() *Sink {
+	s := &Sink{buffer: true}
+	s.M.init()
+	return s
+}
+
+// Buffered returns the staged events of a NewBuffer sink, in emission
+// order. The slice is only valid until the next Emit or ResetBuffer.
+func (s *Sink) Buffered() []Event { return s.staged }
+
+// ResetBuffer clears a staging sink, retaining capacity.
+func (s *Sink) ResetBuffer() { s.staged = s.staged[:0] }
+
 // Emit records one event: ring store, metrics aggregation, tap. It never
 // allocates on the counter paths; per-line timeline kinds may grow the
 // metrics map (they are rare — delegation lifecycle, not per-message).
 func (s *Sink) Emit(e Event) {
+	if s.buffer {
+		s.staged = append(s.staged, e)
+		return
+	}
 	s.total++
 	if s.unbounded {
 		s.ring = append(s.ring, e)

@@ -199,7 +199,13 @@ func WritePerfetto(w io.Writer, s *Sink) error {
 		}
 	}
 
+	// Sorted, not map order: the golden tests pin the document bytes.
+	var nodeIDs []int
 	for n := range nodes {
+		nodeIDs = append(nodeIDs, n)
+	}
+	sort.Ints(nodeIDs)
+	for _, n := range nodeIDs {
 		emit(traceEvent{Name: "thread_name", Ph: "M", Pid: pidNodes, Tid: n,
 			Args: map[string]any{"name": fmt.Sprintf("node %d", n)}})
 	}

@@ -394,6 +394,33 @@ func (e *Engine) RunGuarded(maxSteps uint64) (Time, error) {
 	}
 }
 
+// NextAt reports the timestamp of the earliest pending event and whether
+// one exists. Group uses it to pick the next conservative time window;
+// diagnostics use it to see how far a stalled simulation would jump.
+func (e *Engine) NextAt() (Time, bool) {
+	if e.Pending() == 0 {
+		return 0, false
+	}
+	return e.nextAt(), true
+}
+
+// RunWindow executes pending events with timestamps <= deadline, in the
+// usual (at, seq) order, and returns how many ran. budget > 0 caps the
+// count (the watchdog's share for this window); 0 means uncapped. The
+// engine's clock never advances past the last executed event, so a later
+// Schedule from outside still lands in this engine's future.
+func (e *Engine) RunWindow(deadline Time, budget uint64) uint64 {
+	var n uint64
+	for e.Pending() > 0 && e.nextAt() <= deadline {
+		if budget > 0 && n >= budget {
+			break
+		}
+		e.Step()
+		n++
+	}
+	return n
+}
+
 // RunUntil executes events with timestamps <= deadline. It reports whether
 // the queue drained (true) or the deadline cut the run short (false).
 func (e *Engine) RunUntil(deadline Time) bool {

@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"pccsim/internal/msg"
+)
+
+func TestNextAtAndRunWindow(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("empty engine reports a next event")
+	}
+	var got []int
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Schedule(31, func() { got = append(got, 3) })
+	if at, ok := e.NextAt(); !ok || at != 10 {
+		t.Fatalf("NextAt = %d,%v, want 10,true", at, ok)
+	}
+	if n := e.RunWindow(30, 0); n != 2 {
+		t.Fatalf("RunWindow ran %d events, want 2", n)
+	}
+	if want := []int{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("window executed %v, want %v", got, want)
+	}
+	if at, ok := e.NextAt(); !ok || at != 31 {
+		t.Fatalf("NextAt after window = %d,%v, want 31,true", at, ok)
+	}
+	if n := e.RunWindow(100, 0); n != 1 {
+		t.Fatalf("second window ran %d events, want 1", n)
+	}
+}
+
+func TestRunWindowBudget(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	if n := e.RunWindow(100, 4); n != 4 {
+		t.Fatalf("budgeted window ran %d events, want 4", n)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("pending after budget cut = %d, want 6", e.Pending())
+	}
+}
+
+// mailbox is a minimal cross-shard channel for tests: sends stage into
+// lanes, and a barrier hook drains them into the destination engines —
+// the same shape internal/network gives the real system.
+type mailbox struct {
+	g     *Group
+	look  Time
+	lanes [][]mailslot
+}
+
+type mailslot struct {
+	at Time
+	fn func()
+}
+
+func newMailbox(g *Group) *mailbox {
+	mb := &mailbox{g: g, look: g.Lookahead(), lanes: make([][]mailslot, g.Shards())}
+	g.OnBarrier(mb.drain)
+	return mb
+}
+
+// sendFrom schedules fn on dst's engine at the sender's now+look (the
+// minimum legal cross-shard latency), via the barrier lanes.
+func (mb *mailbox) sendFrom(src, dst int, fn func()) {
+	at := mb.g.Engine(src).Now() + mb.look
+	mb.lanes[dst] = append(mb.lanes[dst], mailslot{at: at, fn: fn})
+}
+
+func (mb *mailbox) drain() {
+	for d := range mb.lanes {
+		for _, s := range mb.lanes[d] {
+			mb.g.Engine(d).Schedule(s.at, s.fn)
+		}
+		mb.lanes[d] = mb.lanes[d][:0]
+	}
+}
+
+func TestGroupCrossShardPingPong(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		g := NewGroup(2, 100, parallel)
+		mb := newMailbox(g)
+		var mu sync.Mutex
+		hops := 0
+		var ping, pong func()
+		ping = func() {
+			mu.Lock()
+			hops++
+			n := hops
+			mu.Unlock()
+			if n < 10 {
+				mb.sendFrom(0, 1, pong)
+			}
+		}
+		pong = func() {
+			mu.Lock()
+			hops++
+			n := hops
+			mu.Unlock()
+			if n < 10 {
+				mb.sendFrom(1, 0, ping)
+			}
+		}
+		g.Engine(0).Schedule(0, ping)
+		end := g.Run()
+		if hops != 10 {
+			t.Fatalf("parallel=%v: %d hops, want 10", parallel, hops)
+		}
+		// Each hop adds exactly one lookahead of latency.
+		if want := Time(9 * 100); end != want {
+			t.Fatalf("parallel=%v: finished at %d, want %d", parallel, end, want)
+		}
+		if g.Steps() != 10 {
+			t.Fatalf("parallel=%v: Steps = %d, want 10", parallel, g.Steps())
+		}
+	}
+}
+
+func TestGroupRunUntilAcrossShards(t *testing.T) {
+	g := NewGroup(2, 50, false)
+	mb := newMailbox(g)
+	var fired []string
+	g.Engine(0).Schedule(10, func() {
+		fired = append(fired, "a")
+		mb.sendFrom(0, 1, func() { fired = append(fired, "b@60") })
+	})
+	g.Engine(1).Schedule(200, func() { fired = append(fired, "c") })
+
+	if done := g.RunUntil(100); done {
+		t.Fatal("RunUntil(100) reported drained with work at 200 left")
+	}
+	// The cross-shard event at 60 must have run; the one at 200 not.
+	if want := []string{"a", "b@60"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("after RunUntil(100): fired = %v, want %v", fired, want)
+	}
+	if at, ok := g.NextAt(); !ok || at != 200 {
+		t.Fatalf("NextAt = %d,%v, want 200,true", at, ok)
+	}
+	if done := g.RunUntil(1000); !done {
+		t.Fatal("RunUntil(1000) did not drain")
+	}
+	if want := []string{"a", "b@60", "c"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+}
+
+func TestGroupForEachPendingAndCensus(t *testing.T) {
+	g := NewGroup(3, 10, false)
+	h := &nullHandler{}
+	// Shard 0: two GetShared; shard 1: a Nack and a closure; shard 2: empty.
+	for i := 0; i < 2; i++ {
+		m := g.Engine(0).NewMsg()
+		m.Type = msg.GetShared
+		g.Engine(0).AfterMsg(Time(10+i), h, 0, m)
+	}
+	m := g.Engine(1).NewMsg()
+	m.Type = msg.Nack
+	g.Engine(1).AfterMsg(5, h, 0, m)
+	g.Engine(1).Schedule(7, func() {})
+
+	if g.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4", g.Pending())
+	}
+	seen := 0
+	var closures int
+	g.ForEachPending(func(at Time, m *msg.Message) {
+		seen++
+		if m == nil {
+			closures++
+		}
+	})
+	if seen != 4 || closures != 1 {
+		t.Fatalf("ForEachPending visited %d (%d closures), want 4 (1)", seen, closures)
+	}
+	census := g.PendingCensus()
+	want := map[string]int{"GetShared": 2, "Nack": 1, "closure": 1}
+	if len(census) != len(want) {
+		t.Fatalf("census = %+v, want %v", census, want)
+	}
+	for _, mc := range census {
+		if want[mc.Type] != mc.Count {
+			t.Fatalf("census[%s] = %d, want %d", mc.Type, mc.Count, want[mc.Type])
+		}
+	}
+	if census[0].Type != "GetShared" {
+		t.Fatalf("census not sorted by count: %+v", census)
+	}
+	if at, ok := g.NextAt(); !ok || at != 5 {
+		t.Fatalf("NextAt = %d,%v, want 5,true", at, ok)
+	}
+}
+
+func TestGroupRunGuardedRunaway(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		g := NewGroup(2, 10, parallel)
+		for s := 0; s < 2; s++ {
+			e := g.Engine(s)
+			var spin func()
+			spin = func() { e.After(1, spin) }
+			e.Schedule(0, spin)
+		}
+		_, err := g.RunGuarded(100)
+		if !errors.Is(err, ErrRunaway) {
+			t.Fatalf("parallel=%v: err = %v, want ErrRunaway", parallel, err)
+		}
+		var re *RunawayError
+		if !errors.As(err, &re) {
+			t.Fatalf("parallel=%v: err = %T, want *RunawayError", parallel, err)
+		}
+		if re.Pending != 2 {
+			t.Fatalf("parallel=%v: aggregated Pending = %d, want 2 (one per shard)", parallel, re.Pending)
+		}
+		if re.Steps < 100 {
+			t.Fatalf("parallel=%v: Steps = %d, want >= budget 100", parallel, re.Steps)
+		}
+		if len(re.Census) != 1 || re.Census[0].Type != "closure" || re.Census[0].Count != 2 {
+			t.Fatalf("parallel=%v: census = %+v, want closure=2", parallel, re.Census)
+		}
+	}
+}
+
+func TestGroupPanicPropagates(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		g := NewGroup(4, 10, parallel)
+		// Two shards panic in the same window; the lowest shard's value
+		// must win under both schedulers.
+		g.Engine(3).Schedule(5, func() { panic("shard3 boom") })
+		g.Engine(1).Schedule(5, func() { panic("shard1 boom") })
+		g.Engine(0).Schedule(5, func() {})
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("parallel=%v: no panic", parallel)
+				}
+				if s, _ := r.(string); s != "shard1 boom" {
+					t.Fatalf("parallel=%v: recovered %v, want shard1 boom", parallel, r)
+				}
+			}()
+			g.Run()
+		}()
+	}
+}
+
+func TestGroupSerialParallelEquivalent(t *testing.T) {
+	// A deterministic multi-shard workload: every shard runs a local
+	// event chain and occasionally posts to its neighbour. The serial
+	// and parallel schedulers must produce identical per-shard event
+	// logs, clocks and step counts.
+	type result struct {
+		logs  [][]string
+		now   Time
+		steps uint64
+	}
+	build := func(parallel bool) result {
+		const shards = 4
+		g := NewGroup(shards, 100, parallel)
+		mb := newMailbox(g)
+		logs := make([][]string, shards)
+		var mu sync.Mutex
+		var chain func(s, depth int) func()
+		chain = func(s, depth int) func() {
+			return func() {
+				e := g.Engine(s)
+				mu.Lock()
+				logs[s] = append(logs[s], fmt.Sprintf("s%d d%d @%d", s, depth, e.Now()))
+				mu.Unlock()
+				if depth >= 12 {
+					return
+				}
+				e.After(Time(3+depth), chain(s, depth+1))
+				if depth%3 == 0 {
+					dst := (s + 1) % shards
+					mb.sendFrom(s, dst, chain(dst, depth+1))
+				}
+			}
+		}
+		for s := 0; s < shards; s++ {
+			g.Engine(s).Schedule(Time(s), chain(s, 0))
+		}
+		now := g.Run()
+		return result{logs: logs, now: now, steps: g.Steps()}
+	}
+	serial := build(false)
+	parallel := build(true)
+	if serial.now != parallel.now || serial.steps != parallel.steps {
+		t.Fatalf("serial (now %d, steps %d) != parallel (now %d, steps %d)",
+			serial.now, serial.steps, parallel.now, parallel.steps)
+	}
+	if !reflect.DeepEqual(serial.logs, parallel.logs) {
+		t.Fatalf("per-shard logs diverge:\nserial:   %v\nparallel: %v", serial.logs, parallel.logs)
+	}
+}
+
+func TestGroupSingleShardMatchesEngine(t *testing.T) {
+	// One shard is the degenerate case: the window loop must reproduce a
+	// plain engine run exactly.
+	build := func(run func(*Engine) (Time, uint64)) ([]string, Time, uint64) {
+		e := NewEngine()
+		var log []string
+		var chain func(depth int) func()
+		chain = func(depth int) func() {
+			return func() {
+				log = append(log, fmt.Sprintf("d%d @%d", depth, e.Now()))
+				if depth < 20 {
+					e.After(Time(1+depth%7), chain(depth+1))
+				}
+			}
+		}
+		e.Schedule(0, chain(0))
+		e.Schedule(0, chain(100))
+		now, steps := run(e)
+		return log, now, steps
+	}
+	wantLog, wantNow, wantSteps := build(func(e *Engine) (Time, uint64) {
+		return e.Run(), e.Steps()
+	})
+	// Group with one pre-existing engine is not constructible, so rebuild
+	// the same program inside a fresh group's engine via the same seed
+	// structure: NewGroup(1,...) then schedule identically.
+	g := NewGroup(1, 100, false)
+	e := g.Engine(0)
+	var log []string
+	var chain func(depth int) func()
+	chain = func(depth int) func() {
+		return func() {
+			log = append(log, fmt.Sprintf("d%d @%d", depth, e.Now()))
+			if depth < 20 {
+				e.After(Time(1+depth%7), chain(depth+1))
+			}
+		}
+	}
+	e.Schedule(0, chain(0))
+	e.Schedule(0, chain(100))
+	now := g.Run()
+	if now != wantNow || g.Steps() != wantSteps {
+		t.Fatalf("group run (now %d, steps %d) != engine run (now %d, steps %d)",
+			now, g.Steps(), wantNow, wantSteps)
+	}
+	if !reflect.DeepEqual(log, wantLog) {
+		t.Fatalf("event order diverges:\ngroup:  %v\nengine: %v", log, wantLog)
+	}
+}

@@ -127,6 +127,20 @@ func WithSelfInvalidation() Option { return core.WithSelfInvalidation() }
 // WithAdaptiveDelay enables the §5 per-line learned intervention delay.
 func WithAdaptiveDelay() Option { return core.WithAdaptiveDelay() }
 
+// WithShards partitions the simulated machine into n engine shards run
+// on worker goroutines, synchronized by conservative time windows (the
+// fast scheduler). n <= 1 keeps the classic single engine; n must not
+// exceed the node count. Sharded runs produce slightly different timings
+// than unsharded ones, but the parallel and serial shard schedulers are
+// guaranteed to agree with each other.
+func WithShards(n int) Option { return core.WithShards(n) }
+
+// WithDeterministicShards partitions like WithShards but keeps the
+// serial round-robin scheduler: same shard topology, same results, one
+// goroutine. This is the reference the fast mode is validated against
+// and the mode to use when reproducing a parallel-run failure.
+func WithDeterministicShards(n int) Option { return core.WithDeterministicShards(n) }
+
 // Typed error classes; see the package comment's Errors section.
 var (
 	// ErrUnknownWorkload reports a benchmark name not in Workloads.
@@ -278,6 +292,12 @@ func (m *Machine) Trace(capacity int, line Addr) *TraceRecorder {
 	var f *trace.Filter
 	if line != 0 {
 		f = &trace.Filter{Addr: line, Node: -1}
+	}
+	// A sharded machine emits into per-shard staging buffers that only
+	// flow once a sink is attached through AttachObs; ensure one exists
+	// so the recorder's tap sees the merged stream instead of silence.
+	if m.inner.Sys.Sharded() && m.inner.Sys.Obs == nil {
+		m.inner.Sys.AttachObs(obs.NewSink(0))
 	}
 	r := trace.NewRecorder(capacity, f)
 	r.Attach(m.inner.Sys.Net)
