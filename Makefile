@@ -27,7 +27,7 @@ bench:
 		./internal/directory/... ./internal/addrtab/... ./internal/msg/... \
 		./internal/obs/... .
 	$(GO) run ./cmd/pccperf -o BENCH_pr2.json
-	$(GO) run ./cmd/pccperf -shards-sweep -shards-o BENCH_pr6.json
+	$(GO) run ./cmd/pccperf -shards-sweep -shards-o BENCH_pr7.json
 
 # One-iteration bench smoke for CI: compiles and runs every benchmark
 # once, then gates the engine and suite numbers against the committed
@@ -39,7 +39,7 @@ bench-smoke:
 	$(GO) test -run ZeroAlloc -count=1 ./internal/sim/... ./internal/network/... \
 		./internal/addrtab/... ./internal/obs/...
 	$(GO) run ./cmd/pccperf -check BENCH_pr2.json
-	$(GO) run ./cmd/pccperf -check-shards BENCH_pr6.json
+	$(GO) run ./cmd/pccperf -check-shards BENCH_pr7.json
 
 # Seeded fuzzing under fault injection. fuzz-smoke is the quick PR gate;
 # fuzz is the long campaign the nightly workflow runs.

@@ -98,7 +98,7 @@ func main() {
 	check := fs.String("check", "", "regression-gate mode: compare a fresh run against this baseline file instead of writing")
 	tolerance := fs.Float64("tolerance", 2.0, "with -check: fail if a metric is worse than baseline by more than this factor")
 	shardsSweep := fs.Bool("shards-sweep", false, "run the sharded-engine scaling sweep instead of the engine/suite benchmarks")
-	shardsOut := fs.String("shards-o", "BENCH_pr6.json", "with -shards-sweep: output file (- for stdout)")
+	shardsOut := fs.String("shards-o", "BENCH_pr7.json", "with -shards-sweep: output file (- for stdout)")
 	checkShardsFile := fs.String("check-shards", "", "gate mode: run a reduced shard sweep against this baseline file")
 	if err := cli.Parse(fs, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "pccperf:", err)

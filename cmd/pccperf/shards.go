@@ -15,7 +15,7 @@ import (
 	"pccsim/internal/workload"
 )
 
-// shardReport is the schema of BENCH_pr6.json: the sharded-engine scaling
+// shardReport is the schema of BENCH_pr7.json: the sharded-engine scaling
 // record. Speedups are honest host measurements — on a single-CPU runner
 // the parallel scheduler cannot beat the serial one, which is why CPUs is
 // part of the record and the check gate treats speedup as informational
@@ -32,7 +32,11 @@ type shardReport struct {
 // baseline its row's speedups are relative to. StatsMatch reports whether
 // the parallel scheduler's end-state Stats equalled the deterministic
 // serial scheduler's at the same shard count — the correctness gate that
-// licenses trusting the fast mode's numbers at all.
+// licenses trusting the fast mode's numbers at all. The Adaptive* columns
+// re-run the cell with adaptive conservative windows: AdaptiveMatch must
+// hold (adaptation only removes barriers, never retimes events) and
+// Windows vs AdaptiveWindows is the barrier count the optimization
+// removed.
 type shardCell struct {
 	Nodes       int     `json:"nodes"`
 	Shards      int     `json:"shards"`
@@ -42,23 +46,31 @@ type shardCell struct {
 	NsPerEvent  float64 `json:"ns_per_event"`
 	Speedup     float64 `json:"speedup_vs_1shard,omitempty"`
 	StatsMatch  bool    `json:"stats_match_deterministic"`
+
+	Windows            uint64  `json:"windows,omitempty"`
+	AdaptiveWindows    uint64  `json:"adaptive_windows,omitempty"`
+	AdaptiveNsPerEvent float64 `json:"adaptive_ns_per_event,omitempty"`
+	AdaptiveMatch      bool    `json:"adaptive_stats_match,omitempty"`
 }
 
 // shardRun executes the sweep workload once on a machine with the given
-// shard configuration; the returned stats feed the serial/parallel match
-// check and the event count and wall time feed the throughput columns.
-func shardRun(nodes, shards int, parallel bool) (*stats.Stats, uint64, time.Duration, error) {
+// shard configuration; the returned stats feed the serial/parallel and
+// adaptive/fixed match checks, the event count and wall time feed the
+// throughput columns, and the window count feeds the barrier-overhead
+// column.
+func shardRun(nodes, shards int, parallel, adaptive bool) (*stats.Stats, uint64, uint64, time.Duration, error) {
 	cfg := core.DefaultConfig().With(core.WithRAC(32), core.WithDelegation(32))
 	cfg.Nodes = nodes
 	cfg.Shards = shards
 	cfg.ShardsParallel = parallel && shards > 1
+	cfg.AdaptiveWindows = adaptive
 	m, err := node.New(cfg)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	wl, ok := workload.ByName("em3d")
 	if !ok {
-		return nil, 0, 0, fmt.Errorf("em3d workload missing")
+		return nil, 0, 0, 0, fmt.Errorf("em3d workload missing")
 	}
 	ops := wl.Build(workload.Params{Nodes: nodes})
 	streams := make([]cpu.Stream, len(ops))
@@ -68,14 +80,22 @@ func shardRun(nodes, shards int, parallel bool) (*stats.Stats, uint64, time.Dura
 	start := time.Now()
 	st, err := m.Run(streams)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
-	return st, m.Sys.Steps(), time.Since(start), nil
+	wall := time.Since(start)
+	var windows uint64
+	if m.Sys.Sharded() {
+		windows = m.Sys.Group().Windows()
+	}
+	return st, m.Sys.Steps(), windows, wall, nil
 }
 
 // runShardSweep measures em3d across the node-count × shard-count grid
-// and returns the scaling report. Node counts stop at 64 — msg.Vector is
-// a 64-bit full-map sharing vector, which caps the machine size.
+// and returns the scaling report. Node counts run up to msg.MaxNodes
+// (256): the sharing vector is a four-word full map. Each multi-shard
+// cell is measured three ways — parallel fixed-window (the headline
+// numbers), serial fixed-window (the stats-match reference) and parallel
+// adaptive (the barrier-reduction columns).
 func runShardSweep(nodeCounts, shardCounts []int) (*shardReport, error) {
 	rep := &shardReport{
 		Workload:  "em3d",
@@ -90,7 +110,7 @@ func runShardSweep(nodeCounts, shardCounts []int) (*shardReport, error) {
 				continue
 			}
 			parallel := sh > 1
-			st, events, wall, err := shardRun(n, sh, parallel)
+			st, events, windows, wall, err := shardRun(n, sh, parallel, false)
 			if err != nil {
 				return nil, fmt.Errorf("nodes=%d shards=%d: %w", n, sh, err)
 			}
@@ -100,6 +120,7 @@ func runShardSweep(nodeCounts, shardCounts []int) (*shardReport, error) {
 				WallSeconds: wall.Seconds(),
 				NsPerEvent:  float64(wall.Nanoseconds()) / float64(events),
 				StatsMatch:  true,
+				Windows:     windows,
 			}
 			if sh == 1 {
 				baseWall = wall
@@ -107,23 +128,31 @@ func runShardSweep(nodeCounts, shardCounts []int) (*shardReport, error) {
 				if baseWall > 0 {
 					cell.Speedup = baseWall.Seconds() / wall.Seconds()
 				}
-				det, _, _, err := shardRun(n, sh, false)
+				det, _, _, _, err := shardRun(n, sh, false, false)
 				if err != nil {
 					return nil, fmt.Errorf("nodes=%d shards=%d serial: %w", n, sh, err)
 				}
 				cell.StatsMatch = reflect.DeepEqual(st, det)
+				ast, aevents, awindows, awall, err := shardRun(n, sh, parallel, true)
+				if err != nil {
+					return nil, fmt.Errorf("nodes=%d shards=%d adaptive: %w", n, sh, err)
+				}
+				cell.AdaptiveWindows = awindows
+				cell.AdaptiveNsPerEvent = float64(awall.Nanoseconds()) / float64(aevents)
+				cell.AdaptiveMatch = reflect.DeepEqual(st, ast)
 			}
-			fmt.Fprintf(os.Stderr, "pccperf: shards nodes=%-3d shards=%d %8d events in %-10v %6.1f ns/ev speedup=%.2f match=%v\n",
-				n, sh, cell.Events, wall.Round(time.Millisecond), cell.NsPerEvent, cell.Speedup, cell.StatsMatch)
+			fmt.Fprintf(os.Stderr, "pccperf: shards nodes=%-3d shards=%-2d %9d events in %-10v %6.1f ns/ev speedup=%.2f match=%v windows=%d adaptive=%d amatch=%v\n",
+				n, sh, cell.Events, wall.Round(time.Millisecond), cell.NsPerEvent, cell.Speedup,
+				cell.StatsMatch, cell.Windows, cell.AdaptiveWindows, cell.AdaptiveMatch)
 			rep.Cells = append(rep.Cells, cell)
 		}
 	}
 	return rep, nil
 }
 
-// writeShardSweep runs the full sweep and writes BENCH_pr6.json (or path).
+// writeShardSweep runs the full sweep and writes BENCH_pr7.json (or path).
 func writeShardSweep(path string) int {
-	rep, err := runShardSweep([]int{16, 32, 64}, []int{1, 2, 4, 8})
+	rep, err := runShardSweep([]int{16, 32, 64, 128, 256}, []int{1, 2, 4, 8, 16})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pccperf:", err)
 		return 1
@@ -147,11 +176,12 @@ func writeShardSweep(path string) int {
 
 // checkShards is the sharded-engine gate for bench-smoke: a reduced sweep
 // (16 nodes at 1 and 4 shards) whose parallel stats MUST match the
-// deterministic scheduler's, and whose ns/event must stay within the
-// tolerance factor of the committed baseline's matching cell. Speedup is
+// deterministic scheduler's, whose adaptive stats MUST match the fixed-
+// window scheduler's, and whose ns/event must stay within the tolerance
+// factor of the committed baseline's matching cell. Speedup is
 // informational: it gates nothing unless the host actually has cores to
 // parallelize over, and even then only warns — wall-clock scaling claims
-// belong in BENCH_pr6.json with the CPU count attached, not in a CI gate
+// belong in BENCH_pr7.json with the CPU count attached, not in a CI gate
 // that runs on arbitrary machines.
 func checkShards(path string, tol float64) int {
 	data, err := os.ReadFile(path)
@@ -183,6 +213,15 @@ func checkShards(path string, tol float64) int {
 		name := fmt.Sprintf("shards-%dn%ds", c.Nodes, c.Shards)
 		if !c.StatsMatch {
 			fmt.Fprintf(os.Stderr, "pccperf: check %-16s FAIL: parallel stats diverge from deterministic\n", name)
+			fail = 1
+		}
+		if c.Shards > 1 && !c.AdaptiveMatch {
+			fmt.Fprintf(os.Stderr, "pccperf: check %-16s FAIL: adaptive-window stats diverge from fixed-window\n", name)
+			fail = 1
+		}
+		if c.Shards > 1 && c.AdaptiveWindows >= c.Windows {
+			fmt.Fprintf(os.Stderr, "pccperf: check %-16s FAIL: adaptive windows %d did not reduce the fixed count %d\n",
+				name, c.AdaptiveWindows, c.Windows)
 			fail = 1
 		}
 		if want := baseNs(c.Nodes, c.Shards); want <= 0 {

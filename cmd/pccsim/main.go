@@ -38,6 +38,7 @@ func main() {
 	check := flag.Bool("check", false, "enable runtime coherence invariant checks")
 	shards := flag.Int("shards", 0, "engine shards (0 = single engine; >1 runs the parallel scheduler)")
 	deterministic := flag.Bool("deterministic", false, "with -shards: serial round-robin shard scheduler")
+	adaptive := flag.Bool("adaptive-windows", false, "with -shards: widen conservative windows while no cross-shard traffic is in flight (identical results, fewer barriers)")
 	traceN := flag.Int("trace", 0, "dump the last N coherence messages after the run")
 	traceLine := flag.Uint64("trace-line", 0, "restrict tracing to one line address")
 	flag.Parse()
@@ -54,6 +55,9 @@ func main() {
 		cfg = cfg.With(pccsim.WithDeterministicShards(*shards))
 	} else {
 		cfg = cfg.With(pccsim.WithShards(*shards))
+	}
+	if *adaptive {
+		cfg = cfg.With(pccsim.WithAdaptiveWindows())
 	}
 
 	var rec *pccsim.TraceRecorder

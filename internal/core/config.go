@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pccsim/internal/msg"
 	"pccsim/internal/network"
 	"pccsim/internal/sim"
 )
@@ -122,6 +123,18 @@ type Config struct {
 	// results identical to the parallel mode at the same shard count.
 	// Ignored when Shards <= 1.
 	ShardsParallel bool
+
+	// AdaptiveWindows lets the sharded schedulers widen the conservative
+	// window beyond the fixed network lookahead while no cross-shard
+	// traffic is in flight: quiet barriers double the allowance, any
+	// drained traffic resets it. Per-shard deadlines stay bounded by the
+	// earliest possible cross-shard arrival, so event timing — and the
+	// serial ≡ parallel guarantee — is unchanged; only the barrier count
+	// drops. Growth additionally requires BarrierLatency >= lookahead-1
+	// and is suppressed when EnableUpdates is set (the cross-shard update
+	// staging re-prices deliveries against the producer's progress, which
+	// wider windows would shift). Ignored when Shards <= 1.
+	AdaptiveWindows bool
 }
 
 // NoIntervention is an InterventionDelay value that disables the delayed
@@ -226,6 +239,13 @@ func WithDeterministicShards(n int) Option {
 	}
 }
 
+// WithAdaptiveWindows lets a sharded run widen its conservative windows
+// while no cross-shard traffic is in flight (see Config.AdaptiveWindows).
+// A no-op without WithShards/WithDeterministicShards.
+func WithAdaptiveWindows() Option {
+	return func(c *Config) { c.AdaptiveWindows = true }
+}
+
 // With returns a copy of c with the options applied, in order.
 func (c Config) With(opts ...Option) Config {
 	for _, o := range opts {
@@ -256,8 +276,9 @@ var ErrBadConfig = errors.New("core: invalid configuration")
 // Validate checks the configuration for consistency. All failures wrap
 // ErrBadConfig.
 func (c *Config) Validate() error {
-	if c.Nodes < 1 || c.Nodes > 64 {
-		return fmt.Errorf("%w: Nodes = %d, want 1..64", ErrBadConfig, c.Nodes)
+	if c.Nodes < 1 || c.Nodes > msg.MaxNodes {
+		return fmt.Errorf("%w: Nodes = %d, want 1..%d (full-map sharing vector width)",
+			ErrBadConfig, c.Nodes, msg.MaxNodes)
 	}
 	if c.L2LineBytes <= 0 || c.L1LineBytes <= 0 || c.L2LineBytes%c.L1LineBytes != 0 {
 		return fmt.Errorf("%w: L2 line (%d) must be a multiple of L1 line (%d)",

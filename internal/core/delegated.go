@@ -62,7 +62,7 @@ func (h *Hub) localDelegated(m *mshr, reqType msg.Type) {
 		m.fillState = cache.Excl
 		m.version = h.producerVersion(m.addr, e, true)
 		m.acksNeeded = consumers.Count()
-		m.invalsRemote = consumers != 0
+		m.invalsRemote = !consumers.Empty()
 		h.tryComplete(m)
 
 	case e.State == directory.Excl && e.Owner == h.id:
@@ -139,7 +139,7 @@ func (h *Hub) delegatedRead(req *msg.Message, pe *delegate.ProducerEntry) {
 		h.adaptDelayDown(e) // the delay was too long for this line
 		v := h.downgradeLocal(req.Addr, e)
 		e.State = directory.Shared
-		e.Sharers = msg.Vector(0).Set(h.id).Set(req.Requester)
+		e.Sharers = msg.Vector{}.Set(h.id).Set(req.Requester)
 		h.emitAfter(h.cfg.DirLatency, msg.Message{
 			Type: msg.SharedResponse, Src: h.id, Dst: req.Requester, Addr: req.Addr,
 			Requester: req.Requester, Version: v, Txn: req.Txn,
@@ -177,7 +177,7 @@ func (h *Hub) downgradeLocal(addr msg.Addr, e *directory.Entry) uint64 {
 // for a last-write predictor: we simply assume the write burst is over.
 func (h *Hub) armIntervention(pe *delegate.ProducerEntry) {
 	e := &pe.Dir
-	if e.UpdateSet.Clear(h.id) == 0 {
+	if e.UpdateSet.Clear(h.id).Empty() {
 		return // nobody consumed the last round; nothing to push
 	}
 	e.WriteSeq++

@@ -67,7 +67,7 @@ func (h *Hub) homeRead(req *msg.Message, e *directory.Entry, det *predictor.Dete
 	case directory.Unowned:
 		det.OnRead(req.Requester)
 		e.State = directory.Shared
-		e.Sharers = msg.Vector(0).Set(req.Requester)
+		e.Sharers = msg.Vector{}.Set(req.Requester)
 		h.emitAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, msg.Message{
 			Type: msg.SharedReply, Src: h.id, Dst: req.Requester, Addr: req.Addr,
 			Requester: req.Requester, Version: e.MemVersion, Txn: req.Txn,
@@ -120,7 +120,7 @@ func (h *Hub) homeWrite(req *msg.Message, e *directory.Entry, det *predictor.Det
 		e.Owner = req.Requester
 		e.OwnerID = req.Requester
 		e.OwnerTxn = req.Txn
-		e.Sharers = 0
+		e.Sharers = msg.Vector{}
 		h.emitAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, msg.Message{
 			Type: msg.ExclReply, Src: h.id, Dst: req.Requester, Addr: req.Addr,
 			Requester: req.Requester, Version: e.MemVersion, AckCount: 0, Txn: req.Txn,
@@ -221,7 +221,7 @@ func (h *Hub) homeWrite(req *msg.Message, e *directory.Entry, det *predictor.Det
 // invalidateSharers sends invalidations on behalf of requester; the acks
 // flow directly to the requester.
 func (h *Hub) invalidateSharers(addr msg.Addr, sharers msg.Vector, requester msg.NodeID, txn uint64) {
-	for vec := sharers; vec != 0; vec &= vec - 1 {
+	for vec := sharers; !vec.Empty(); vec = vec.ClearLowest() {
 		h.st.Invalidations++
 		h.emitAfter(h.cfg.DirLatency, msg.Message{
 			Type: msg.Invalidate, Src: h.id, Dst: vec.Lowest(), Addr: addr,
@@ -240,7 +240,7 @@ func (h *Hub) homeSharedWriteback(m *msg.Message) {
 	e.MemVersion = m.Version
 	e.State = directory.Shared
 	// A new read arrived: overwrite the old sharing vector (§2.4.2).
-	e.Sharers = msg.Vector(0).Set(m.Src).Set(e.Pending)
+	e.Sharers = msg.Vector{}.Set(m.Src).Set(e.Pending)
 	e.Pending = msg.None
 }
 
@@ -258,7 +258,7 @@ func (h *Hub) homeTransferAck(m *msg.Message) {
 	e.Owner = e.Pending
 	e.OwnerID = e.Pending
 	e.OwnerTxn = e.PendingTxn
-	e.Sharers = 0
+	e.Sharers = msg.Vector{}
 	e.Pending = msg.None
 }
 
@@ -283,7 +283,7 @@ func (h *Hub) homeWriteback(m *msg.Message) {
 			e.MemVersion = m.Version
 		}
 		e.State = directory.Shared
-		e.Sharers = msg.Vector(0).Set(e.Pending)
+		e.Sharers = msg.Vector{}.Set(e.Pending)
 		pending := e.Pending
 		e.Pending = msg.None
 		h.emitAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, msg.Message{
@@ -300,7 +300,7 @@ func (h *Hub) homeWriteback(m *msg.Message) {
 		e.Owner = e.Pending
 		e.OwnerID = e.Pending
 		e.OwnerTxn = e.PendingTxn
-		e.Sharers = 0
+		e.Sharers = msg.Vector{}
 		pending := e.Pending
 		e.Pending = msg.None
 		h.emitAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, msg.Message{
@@ -339,14 +339,14 @@ func (h *Hub) homeEagerWriteback(m *msg.Message) {
 	case e.State == directory.Excl && e.Owner == m.Src && e.OwnerTxn == m.GrantTxn:
 		e.MemVersion = m.Version
 		e.State = directory.Shared
-		e.Sharers = msg.Vector(0).Set(m.Src)
+		e.Sharers = msg.Vector{}.Set(m.Src)
 
 	case e.State == directory.BusyShared && e.Owner == m.Src && e.OwnerTxn == m.GrantTxn:
 		// The downgrade crossed our intervention (which the owner will
 		// drop): complete the pending read from the pushed data.
 		e.MemVersion = m.Version
 		e.State = directory.Shared
-		e.Sharers = msg.Vector(0).Set(m.Src).Set(e.Pending)
+		e.Sharers = msg.Vector{}.Set(m.Src).Set(e.Pending)
 		pending := e.Pending
 		e.Pending = msg.None
 		h.emitAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, msg.Message{
@@ -363,7 +363,7 @@ func (h *Hub) homeEagerWriteback(m *msg.Message) {
 		e.Owner = pending
 		e.OwnerID = pending
 		e.OwnerTxn = e.PendingTxn
-		e.Sharers = 0
+		e.Sharers = msg.Vector{}
 		e.Pending = msg.None
 		h.emitAfter(h.cfg.DirLatency, msg.Message{
 			Type: msg.Invalidate, Src: h.id, Dst: m.Src, Addr: m.Addr,
@@ -406,7 +406,7 @@ func (h *Hub) homeUndelegate(m *msg.Message) {
 	if h.dirc.Resident(m.Addr) {
 		h.dirc.Detector(m.Addr).Reset()
 	}
-	if m.Sharers == 0 {
+	if m.Sharers.Empty() {
 		e.State = directory.Unowned
 	} else {
 		e.State = directory.Shared
@@ -427,7 +427,7 @@ func (h *Hub) homeUndelegate(m *msg.Message) {
 // playing the producer-table role and home memory the surrogate RAC.
 func (h *Hub) armHomeIntervention(addr msg.Addr) {
 	e := h.dir.Entry(addr)
-	if !e.PC || e.UpdateSet.Clear(h.id) == 0 {
+	if !e.PC || e.UpdateSet.Clear(h.id).Empty() {
 		return
 	}
 	e.WriteSeq++
@@ -493,8 +493,8 @@ func (h *Hub) fireIntervention(addr msg.Addr, e *directory.Entry, seq uint64, de
 		// An early consumer read already forced the downgrade; push
 		// to the consumers that have not re-read yet.
 		v = h.producerVersion(addr, e, delegated)
-		targets := e.UpdateSet.Clear(h.id) &^ e.Sharers
-		e.Sharers |= targets
+		targets := e.UpdateSet.Clear(h.id).AndNot(e.Sharers)
+		e.Sharers = e.Sharers.Or(targets)
 		h.pushUpdates(addr, e, targets, v)
 	}
 }
@@ -571,7 +571,7 @@ func (h *Hub) adaptDelayUpIfRewrite(e *directory.Entry) {
 
 // pushUpdates sends speculative updates to the target set.
 func (h *Hub) pushUpdates(addr msg.Addr, e *directory.Entry, targets msg.Vector, v uint64) {
-	for vec := targets; vec != 0; vec &= vec - 1 {
+	for vec := targets; !vec.Empty(); vec = vec.ClearLowest() {
 		c := vec.Lowest()
 		h.st.UpdatesSent++
 		e.UpdatesInFlight++

@@ -61,8 +61,8 @@ func (s *System) CheckLine(addr msg.Addr) {
 			uint64(addr), exclusive.Nodes()))
 	}
 	if exclusive.Count() == 1 {
-		owner := exclusive.Only()
-		if others := shared.Clear(owner); others != 0 {
+		owner := exclusive.Only("CheckLine SWMR owner")
+		if others := shared.Clear(owner); !others.Empty() {
 			panic(fmt.Sprintf("core: SWMR violation on %#x: owner %d with copies at %v",
 				uint64(addr), owner, others.Nodes()))
 		}
@@ -82,16 +82,21 @@ func (s *System) CheckLine(addr msg.Addr) {
 	}
 	switch e.State {
 	case directory.Shared, directory.Unowned:
-		if exclusive != 0 {
+		if !exclusive.Empty() {
 			panic(fmt.Sprintf("core: directory inconsistency on %#x: home says %s but node %d is exclusive",
-				uint64(addr), e.State, exclusive.Only()))
+				uint64(addr), e.State, exclusive.Only("CheckLine dir-consistency")))
 		}
 	case directory.Excl:
-		// The owner recorded at the directory must be the only
-		// possible exclusive holder.
-		if exclusive != 0 && exclusive.Only() != e.Owner {
-			panic(fmt.Sprintf("core: directory inconsistency on %#x: home owner %d but node %d is exclusive",
-				uint64(addr), e.Owner, exclusive.Only()))
+		// The owner recorded at the directory must be the only possible
+		// exclusive holder. Single is the recoverable form of Only here:
+		// a multi-member exclusive set is itself the inconsistency being
+		// diagnosed, so the typed error folds into this check's own
+		// report instead of crashing inside the msg package.
+		if !exclusive.Empty() {
+			if holder, err := exclusive.Single(); err != nil || holder != e.Owner {
+				panic(fmt.Sprintf("core: directory inconsistency on %#x: home owner %d but exclusive set is %v (%v)",
+					uint64(addr), e.Owner, exclusive.Nodes(), err))
+			}
 		}
 	}
 }

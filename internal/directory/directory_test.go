@@ -50,7 +50,7 @@ func TestStateStringsAndBusy(t *testing.T) {
 }
 
 func TestEntryString(t *testing.T) {
-	e := &Entry{State: Shared, Sharers: msg.Vector(0).Set(1).Set(3), Owner: msg.None, Pending: msg.None}
+	e := &Entry{State: Shared, Sharers: msg.Vector{}.Set(1).Set(3), Owner: msg.None, Pending: msg.None}
 	if e.String() == "" {
 		t.Fatal("empty entry string")
 	}

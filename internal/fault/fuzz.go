@@ -39,6 +39,11 @@ type Machine struct {
 	// never omitted from JSON so every committed repro states its mode.
 	Shards   int  `json:"shards"`
 	Parallel bool `json:"parallel,omitempty"`
+	// AdaptiveWindows widens the sharded schedulers' conservative
+	// windows between quiet barriers. Results are identical with it on
+	// or off, but it is still part of the repro so a scheduler bug in
+	// the growth machinery itself replays faithfully.
+	AdaptiveWindows bool `json:"adaptive_windows,omitempty"`
 
 	// InterventionDelay in cycles (0 = the protocol default of 50);
 	// NoIntervention disables the delayed intervention entirely.
@@ -118,8 +123,8 @@ func LineAddr(i int) msg.Addr { return poolBase + msg.Addr(i)*poolPage }
 // any well-formed case is legal input).
 func (c *Case) Validate() error {
 	m := &c.Machine
-	if m.Nodes < 2 || m.Nodes > 64 {
-		return fmt.Errorf("fault: machine nodes = %d, want 2..64", m.Nodes)
+	if m.Nodes < 2 || m.Nodes > msg.MaxNodes {
+		return fmt.Errorf("fault: machine nodes = %d, want 2..%d", m.Nodes, msg.MaxNodes)
 	}
 	if m.Lines < 1 {
 		return fmt.Errorf("fault: machine needs at least one pool line")
@@ -178,6 +183,7 @@ func (c *Case) BuildConfig() core.Config {
 	}
 	cfg.Shards = m.Shards
 	cfg.ShardsParallel = m.Parallel && m.Shards > 1
+	cfg.AdaptiveWindows = m.AdaptiveWindows
 	cfg.CheckInvariants = true
 	cfg.WatchdogSteps = c.watchdogSteps()
 	return cfg

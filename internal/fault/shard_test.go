@@ -32,6 +32,49 @@ func TestCorpusReplayAcrossSchedulers(t *testing.T) {
 	}
 }
 
+// TestCorpusReplayWideMachine replays every committed reproduction with
+// the node count raised to 128 — four sharing-vector words wide, past
+// the old uint64 limit. The ops only touch the original low node ids,
+// but homes, directories and invariant sweeps all run at the full width.
+// Serial and parallel must agree, and an adaptive-window replay must
+// return the bit-identical verdict: growth only merges windows, so even
+// the event and perturbation counts may not move.
+func TestCorpusReplayWideMachine(t *testing.T) {
+	cases, names, err := LoadCorpus("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cases {
+		wide := c
+		wide.Machine.Nodes = 128
+		wide.Machine.Shards, wide.Machine.Parallel = 4, false
+		if err := wide.Validate(); err != nil {
+			t.Fatalf("%s at 128 nodes: %v", names[i], err)
+		}
+		det := wide.Run()
+		if !det.Ok {
+			t.Errorf("%s at 128 nodes (serial): %s", names[i], det.Failure)
+			continue
+		}
+		par := wide
+		par.Machine.Parallel = true
+		pres := par.Run()
+		det.Wall, pres.Wall = 0, 0
+		if det != pres {
+			t.Errorf("%s at 128 nodes: parallel verdict diverges from serial\nserial:   %+v\nparallel: %+v",
+				names[i], det, pres)
+		}
+		ad := wide
+		ad.Machine.AdaptiveWindows = true
+		ares := ad.Run()
+		ares.Wall = 0
+		if det != ares {
+			t.Errorf("%s at 128 nodes: adaptive-window verdict diverges from fixed\nfixed:    %+v\nadaptive: %+v",
+				names[i], det, ares)
+		}
+	}
+}
+
 // TestCaseValidateShards pins the shard bounds a hand-edited repro must
 // satisfy.
 func TestCaseValidateShards(t *testing.T) {

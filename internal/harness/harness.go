@@ -41,6 +41,11 @@ type Options struct {
 	// is gated to produce identical stats — so it is not part of the
 	// report identity.
 	Deterministic bool `json:"-"`
+	// AdaptiveWindows lets sharded machines widen their conservative
+	// windows while no cross-shard traffic is in flight. It never
+	// changes results — growth is bounded so every event keeps its
+	// timing — so it is not part of the report identity either.
+	AdaptiveWindows bool `json:"-"`
 
 	// Parallel is the scheduler's worker-pool size; 0 means GOMAXPROCS.
 	// It affects only wall time, never results, and is therefore not
@@ -153,6 +158,7 @@ func MustRun(cfg core.Config, wl *workload.Workload, p workload.Params) *stats.S
 func (s *Session) job(label string, cfg core.Config, wl *workload.Workload) runner.Job {
 	cfg.Shards = s.Opts.Shards
 	cfg.ShardsParallel = s.Opts.Shards > 1 && !s.Opts.Deterministic
+	cfg.AdaptiveWindows = s.Opts.AdaptiveWindows
 	return runner.Job{Label: label, Cfg: cfg, Workload: wl, Params: s.Opts.params()}
 }
 

@@ -24,51 +24,156 @@ const None NodeID = -1
 // line-aligned addresses.
 type Addr uint64
 
-// Vector is a sharing bit vector over nodes (supports up to 64 nodes; the
-// paper models 16).
-type Vector uint64
+// VectorWords is the number of 64-bit words backing a Vector. It is the
+// single width parameter for the full-map sharing vector: machines of up
+// to 64*VectorWords nodes are legal.
+const VectorWords = 4
+
+// MaxNodes is the largest legal node count. The directory keeps one
+// presence bit per node, so the machine size is capped by the vector
+// width (the paper models 16 nodes; the sharded engine sweeps to 256).
+const MaxNodes = 64 * VectorWords
+
+// Vector is a full-map sharing bit vector over nodes. It is a fixed-size
+// array value: comparable with ==, copyable, and allocation-free on the
+// pooled message path. The zero value Vector{} is the empty vector.
+//
+// Machines of 64 or fewer nodes only ever populate word 0, and every
+// operation takes a single-word fast path in that case — the multi-word
+// generality costs nothing measurable there (benchmark-gated against the
+// old uint64 implementation).
+type Vector [VectorWords]uint64
 
 // Set returns v with node n added.
-func (v Vector) Set(n NodeID) Vector { return v | 1<<uint(n) }
+func (v Vector) Set(n NodeID) Vector {
+	v[uint(n)>>6] |= 1 << (uint(n) & 63)
+	return v
+}
 
 // Clear returns v with node n removed.
-func (v Vector) Clear(n NodeID) Vector { return v &^ (1 << uint(n)) }
+func (v Vector) Clear(n NodeID) Vector {
+	v[uint(n)>>6] &^= 1 << (uint(n) & 63)
+	return v
+}
 
 // Has reports whether node n is in the vector.
-func (v Vector) Has(n NodeID) bool { return v&(1<<uint(n)) != 0 }
+func (v Vector) Has(n NodeID) bool { return v[uint(n)>>6]&(1<<(uint(n)&63)) != 0 }
+
+// Empty reports whether no node is in the vector.
+func (v Vector) Empty() bool { return v[0]|v[1]|v[2]|v[3] == 0 }
 
 // Count returns the number of nodes in the vector.
-func (v Vector) Count() int { return bits.OnesCount64(uint64(v)) }
+func (v Vector) Count() int {
+	return bits.OnesCount64(v[0]) + bits.OnesCount64(v[1]) +
+		bits.OnesCount64(v[2]) + bits.OnesCount64(v[3])
+}
+
+// Or returns the union of v and w.
+func (v Vector) Or(w Vector) Vector {
+	for i := range v {
+		v[i] |= w[i]
+	}
+	return v
+}
+
+// AndNot returns the members of v that are not in w.
+func (v Vector) AndNot(w Vector) Vector {
+	for i := range v {
+		v[i] &^= w[i]
+	}
+	return v
+}
 
 // Nodes returns the members of the vector in ascending order.
 func (v Vector) Nodes() []NodeID {
 	out := make([]NodeID, 0, v.Count())
-	for i := NodeID(0); v != 0; i++ {
-		if v&1 != 0 {
-			out = append(out, i)
+	for i, w := range v {
+		for ; w != 0; w &= w - 1 {
+			out = append(out, NodeID(i*64+bits.TrailingZeros64(w)))
 		}
-		v >>= 1
 	}
 	return out
 }
 
-// Only returns the single member of the vector; it panics if the vector
-// does not contain exactly one node (a directory-consistency bug).
-func (v Vector) Only() NodeID {
-	if v&(v-1) != 0 || v == 0 {
-		panic(fmt.Sprintf("msg: Vector %b does not have exactly one member", v))
-	}
-	return NodeID(bits.TrailingZeros64(uint64(v)))
+// String renders the vector as its member list, e.g. [1 5 64].
+func (v Vector) String() string { return fmt.Sprint(v.Nodes()) }
+
+// NotSingletonError reports a sharing vector that was required to hold
+// exactly one node but did not — in a consistent directory this means
+// corrupted owner state. Single returns it; Only panics with it.
+type NotSingletonError struct{ V Vector }
+
+func (e *NotSingletonError) Error() string {
+	return fmt.Sprintf("sharing vector %v has %d members (machine max %d nodes), want exactly one",
+		e.V.Nodes(), e.V.Count(), MaxNodes)
 }
 
-// Lowest returns the lowest-numbered member of the vector (64 when empty).
-// It is the allocation-free building block for iterating members:
+// Single returns the single member of the vector, or a *NotSingletonError
+// when the vector does not contain exactly one node. It is the recoverable
+// form of Only for callers that report rather than crash.
+func (v Vector) Single() (NodeID, error) {
+	n := None
+	for i, w := range v {
+		if w == 0 {
+			continue
+		}
+		if w&(w-1) != 0 || n != None {
+			return None, &NotSingletonError{V: v}
+		}
+		n = NodeID(i*64 + bits.TrailingZeros64(w))
+	}
+	if n == None {
+		return None, &NotSingletonError{V: v}
+	}
+	return n, nil
+}
+
+// Only returns the single member of the vector; it panics if the vector
+// does not contain exactly one node (a directory-consistency bug). The
+// context string names the call site so the panic locates the violated
+// invariant without a stack dive.
+func (v Vector) Only(context string) NodeID {
+	if w := v[0]; w != 0 && w&(w-1) == 0 && v[1]|v[2]|v[3] == 0 {
+		return NodeID(bits.TrailingZeros64(w))
+	}
+	n, err := v.Single()
+	if err != nil {
+		panic(fmt.Sprintf("msg: %s: %v", context, err))
+	}
+	return n
+}
+
+// Lowest returns the lowest-numbered member of the vector (MaxNodes when
+// empty). With ClearLowest it is the allocation-free building block for
+// iterating members:
 //
-//	for w := v; w != 0; w &= w - 1 {
+//	for w := v; !w.Empty(); w = w.ClearLowest() {
 //		n := w.Lowest()
 //		...
 //	}
-func (v Vector) Lowest() NodeID { return NodeID(bits.TrailingZeros64(uint64(v))) }
+func (v Vector) Lowest() NodeID {
+	if v[0] != 0 {
+		return NodeID(bits.TrailingZeros64(v[0]))
+	}
+	for i := 1; i < VectorWords; i++ {
+		if v[i] != 0 {
+			return NodeID(i*64 + bits.TrailingZeros64(v[i]))
+		}
+	}
+	return MaxNodes
+}
+
+// ClearLowest returns v with its lowest-numbered member removed (v
+// unchanged when empty).
+func (v Vector) ClearLowest() Vector {
+	for i, w := range v {
+		if w != 0 {
+			v[i] = w & (w - 1)
+			return v
+		}
+	}
+	return v
+}
 
 // Type enumerates coherence message types.
 type Type uint8

@@ -1,6 +1,9 @@
 package msg
 
 import (
+	"errors"
+	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -26,7 +29,7 @@ func TestVectorSetClearHas(t *testing.T) {
 }
 
 func TestVectorNodesSorted(t *testing.T) {
-	v := Vector(0).Set(9).Set(1).Set(14)
+	v := Vector{}.Set(9).Set(1).Set(14)
 	nodes := v.Nodes()
 	want := []NodeID{1, 9, 14}
 	if len(nodes) != len(want) {
@@ -40,23 +43,191 @@ func TestVectorNodesSorted(t *testing.T) {
 }
 
 func TestVectorOnly(t *testing.T) {
-	v := Vector(0).Set(5)
-	if v.Only() != 5 {
-		t.Fatalf("Only = %d, want 5", v.Only())
+	v := Vector{}.Set(5)
+	if v.Only("test") != 5 {
+		t.Fatalf("Only = %d, want 5", v.Only("test"))
 	}
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("Only on 2-member vector did not panic")
 		}
+		// The panic must name the call site and the member count so a
+		// directory-corruption report is actionable without a stack dive.
+		s, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, frag := range []string{"TestVectorOnly call site", "2 members", "[1 2]"} {
+			if !strings.Contains(s, frag) {
+				t.Fatalf("panic %q missing %q", s, frag)
+			}
+		}
 	}()
-	Vector(0).Set(1).Set(2).Only()
+	Vector{}.Set(1).Set(2).Only("TestVectorOnly call site")
+}
+
+func TestVectorSingleTypedError(t *testing.T) {
+	if n, err := (Vector{}.Set(130)).Single(); err != nil || n != 130 {
+		t.Fatalf("Single = %d, %v; want 130, nil", n, err)
+	}
+	for _, v := range []Vector{{}, Vector{}.Set(1).Set(2), Vector{}.Set(63).Set(64)} {
+		n, err := v.Single()
+		if err == nil {
+			t.Fatalf("Single(%v) = %d, nil; want error", v, n)
+		}
+		var nse *NotSingletonError
+		if !errors.As(err, &nse) {
+			t.Fatalf("Single(%v) error %T, want *NotSingletonError", v, err)
+		}
+		if nse.V != v {
+			t.Fatalf("error vector = %v, want %v", nse.V, v)
+		}
+	}
+}
+
+// TestVectorBoundaries exercises nodes straddling the 64-bit word
+// boundaries that the old uint64 vector could not represent.
+func TestVectorBoundaries(t *testing.T) {
+	for _, n := range []NodeID{0, 1, 63, 64, 65, 127, 128, 129, 191, 192, 254, 255} {
+		v := Vector{}.Set(n)
+		if !v.Has(n) {
+			t.Fatalf("Set(%d): Has = false", n)
+		}
+		if v.Count() != 1 {
+			t.Fatalf("Set(%d): Count = %d, want 1", n, v.Count())
+		}
+		if got := v.Only("boundary"); got != n {
+			t.Fatalf("Set(%d): Only = %d", n, got)
+		}
+		if got := v.Lowest(); got != n {
+			t.Fatalf("Set(%d): Lowest = %d", n, got)
+		}
+		if !v.ClearLowest().Empty() {
+			t.Fatalf("Set(%d): ClearLowest not empty", n)
+		}
+		if !v.Clear(n).Empty() {
+			t.Fatalf("Set(%d).Clear(%d) not empty", n, n)
+		}
+		for _, other := range []NodeID{0, 63, 64, 65, 128, 255} {
+			if other != n && v.Has(other) {
+				t.Fatalf("Set(%d): spurious Has(%d)", n, other)
+			}
+		}
+	}
+	// A 65-node machine's full sharer set: the first wide case.
+	var v Vector
+	for n := NodeID(0); n < 65; n++ {
+		v = v.Set(n)
+	}
+	if v.Count() != 65 {
+		t.Fatalf("65-node full map Count = %d", v.Count())
+	}
+	if v.Clear(64).Count() != 64 || v.Clear(0).Lowest() != 1 {
+		t.Fatal("65-node Clear/Lowest across the word boundary broken")
+	}
+	if (Vector{}).Lowest() != MaxNodes {
+		t.Fatalf("empty Lowest = %d, want MaxNodes=%d", (Vector{}).Lowest(), MaxNodes)
+	}
+}
+
+// TestVectorReferenceModel drives a long random op sequence against a
+// map[NodeID]bool reference model and checks every accessor after every
+// step, across the full 256-node range (weighted toward the word
+// boundaries where the multi-word arithmetic can go wrong).
+func TestVectorReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pick := func() NodeID {
+		if rng.Intn(4) == 0 { // boundary bias
+			edges := []NodeID{0, 63, 64, 65, 127, 128, 129, 191, 192, 255}
+			return edges[rng.Intn(len(edges))]
+		}
+		return NodeID(rng.Intn(MaxNodes))
+	}
+	var v Vector
+	ref := map[NodeID]bool{}
+	for step := 0; step < 20000; step++ {
+		n := pick()
+		switch rng.Intn(5) {
+		case 0, 1:
+			v = v.Set(n)
+			ref[n] = true
+		case 2:
+			v = v.Clear(n)
+			delete(ref, n)
+		case 3:
+			v = v.ClearLowest()
+			low := NodeID(MaxNodes)
+			for m := range ref {
+				if m < low {
+					low = m
+				}
+			}
+			if low < MaxNodes {
+				delete(ref, low)
+			}
+		case 4:
+			w := Vector{}.Set(pick()).Set(pick())
+			if rng.Intn(2) == 0 {
+				v = v.Or(w)
+				for _, m := range w.Nodes() {
+					ref[m] = true
+				}
+			} else {
+				v = v.AndNot(w)
+				for _, m := range w.Nodes() {
+					delete(ref, m)
+				}
+			}
+		}
+
+		if v.Count() != len(ref) {
+			t.Fatalf("step %d: Count = %d, ref %d", step, v.Count(), len(ref))
+		}
+		if v.Empty() != (len(ref) == 0) {
+			t.Fatalf("step %d: Empty = %v, ref %d members", step, v.Empty(), len(ref))
+		}
+		if v.Has(n) != ref[n] {
+			t.Fatalf("step %d: Has(%d) = %v, ref %v", step, n, v.Has(n), ref[n])
+		}
+		low := NodeID(MaxNodes)
+		for m := range ref {
+			if m < low {
+				low = m
+			}
+		}
+		if v.Lowest() != low {
+			t.Fatalf("step %d: Lowest = %d, ref %d", step, v.Lowest(), low)
+		}
+		if step%97 == 0 { // full-membership scan, amortized
+			nodes := v.Nodes()
+			if len(nodes) != len(ref) {
+				t.Fatalf("step %d: Nodes len %d, ref %d", step, len(nodes), len(ref))
+			}
+			for i, m := range nodes {
+				if !ref[m] {
+					t.Fatalf("step %d: Nodes contains %d not in ref", step, m)
+				}
+				if i > 0 && nodes[i-1] >= m {
+					t.Fatalf("step %d: Nodes not ascending: %v", step, nodes)
+				}
+			}
+			n, err := v.Single()
+			if (err == nil) != (len(ref) == 1) {
+				t.Fatalf("step %d: Single err=%v with %d members", step, err, len(ref))
+			}
+			if err == nil && !ref[n] {
+				t.Fatalf("step %d: Single = %d not in ref", step, n)
+			}
+		}
+	}
 }
 
 // Property: Count always equals the length of Nodes, and every node in
 // Nodes satisfies Has.
 func TestPropertyVectorConsistency(t *testing.T) {
-	f := func(bits uint16) bool {
-		v := Vector(bits)
+	f := func(words [VectorWords]uint64) bool {
+		v := Vector(words)
 		nodes := v.Nodes()
 		if len(nodes) != v.Count() {
 			return false
@@ -75,9 +246,9 @@ func TestPropertyVectorConsistency(t *testing.T) {
 
 // Property: Set then Clear is identity for nodes not previously present.
 func TestPropertySetClearIdentity(t *testing.T) {
-	f := func(bits uint16, n uint8) bool {
-		node := NodeID(n % 64)
-		v := Vector(bits)
+	f := func(words [VectorWords]uint64, n uint8) bool {
+		node := NodeID(int(n) % MaxNodes)
+		v := Vector(words)
 		if v.Has(node) {
 			return v.Set(node) == v
 		}

@@ -2,36 +2,43 @@ package msg
 
 import "testing"
 
-// TestVectorOpsZeroAlloc proves Only and Count never allocate (they
-// previously materialized a []NodeID via Nodes and walked the vector
-// twice).
+// TestVectorOpsZeroAlloc proves the core vector operations never allocate.
+// The multi-word widening must not reintroduce allocations on the pooled
+// message path: a Vector is a fixed-size array value, so Set/Clear/Or/
+// AndNot/ClearLowest return copies on the stack and Only/Count/Lowest
+// walk words in registers.
 func TestVectorOpsZeroAlloc(t *testing.T) {
-	v := Vector(0).Set(7)
-	full := Vector(0xFFFF)
+	v := Vector{}.Set(7)
+	full := fullMap(16)
+	wide := Vector{}.Set(3).Set(70).Set(200)
 	var n NodeID
 	var c int
 	allocs := testing.AllocsPerRun(1000, func() {
-		n = v.Only()
+		n = v.Only("zero-alloc bench")
 		c = full.Count()
+		c += wide.Or(v).AndNot(full).Count()
+		for w := wide; !w.Empty(); w = w.ClearLowest() {
+			n = w.Lowest()
+		}
 	})
 	if allocs != 0 {
-		t.Fatalf("Only+Count allocated %v allocs/op, want 0", allocs)
+		t.Fatalf("vector ops allocated %v allocs/op, want 0", allocs)
 	}
-	if n != 7 || c != 16 {
-		t.Fatalf("Only=%d Count=%d, want 7 and 16", n, c)
+	if n != 200 || c != 16+2 {
+		t.Fatalf("n=%d c=%d, want 200 and 18", n, c)
 	}
 }
 
 func TestVectorLowest(t *testing.T) {
-	if got := (Vector(0).Set(3).Set(9)).Lowest(); got != 3 {
+	if got := (Vector{}.Set(3).Set(9)).Lowest(); got != 3 {
 		t.Fatalf("Lowest = %d, want 3", got)
 	}
-	// Iteration idiom visits members in ascending order.
+	// Iteration idiom visits members in ascending order, across words.
 	var got []NodeID
-	for w := Vector(0).Set(1).Set(5).Set(15); w != 0; w &= w - 1 {
+	for w := (Vector{}.Set(1).Set(5).Set(15).Set(77).Set(250)); !w.Empty(); w = w.ClearLowest() {
 		got = append(got, w.Lowest())
 	}
-	want := []NodeID{1, 5, 15}
+	want := []NodeID{1, 5, 15, 77, 250}
 	if len(got) != len(want) {
 		t.Fatalf("iterated %v, want %v", got, want)
 	}
@@ -42,22 +49,80 @@ func TestVectorLowest(t *testing.T) {
 	}
 }
 
+func fullMap(n int) Vector {
+	var v Vector
+	for i := NodeID(0); int(i) < n; i++ {
+		v = v.Set(i)
+	}
+	return v
+}
+
+// The single-word path: a ≤64-node machine only ever populates word 0.
+// These benchmarks gate the tentpole's "no regression at ≤64 nodes" claim
+// next to the wide-path numbers.
 func BenchmarkVectorOnly(b *testing.B) {
-	v := Vector(0).Set(13)
+	v := Vector{}.Set(13)
 	b.ReportAllocs()
 	var n NodeID
 	for i := 0; i < b.N; i++ {
-		n = v.Only()
+		n = v.Only("bench")
+	}
+	_ = n
+}
+
+func BenchmarkVectorOnlyWide(b *testing.B) {
+	v := Vector{}.Set(170)
+	b.ReportAllocs()
+	var n NodeID
+	for i := 0; i < b.N; i++ {
+		n = v.Only("bench")
 	}
 	_ = n
 }
 
 func BenchmarkVectorCount(b *testing.B) {
-	v := Vector(0x5A5A)
+	v := Vector{0x5A5A, 0, 0, 0}
 	b.ReportAllocs()
 	var c int
 	for i := 0; i < b.N; i++ {
 		c = v.Count()
 	}
 	_ = c
+}
+
+func BenchmarkVectorCountWide(b *testing.B) {
+	v := Vector{0x5A5A, 0xF0F0, 1, 1 << 63}
+	b.ReportAllocs()
+	var c int
+	for i := 0; i < b.N; i++ {
+		c = v.Count()
+	}
+	_ = c
+}
+
+// BenchmarkVectorIterate measures the member-iteration idiom on a 16-node
+// sharer set (the paper's machine size): the hot pattern in
+// invalidateSharers and pushUpdates.
+func BenchmarkVectorIterate(b *testing.B) {
+	v := fullMap(16)
+	b.ReportAllocs()
+	var sum NodeID
+	for i := 0; i < b.N; i++ {
+		for w := v; !w.Empty(); w = w.ClearLowest() {
+			sum += w.Lowest()
+		}
+	}
+	_ = sum
+}
+
+func BenchmarkVectorSetClearHas(b *testing.B) {
+	b.ReportAllocs()
+	var v Vector
+	for i := 0; i < b.N; i++ {
+		v = v.Set(NodeID(i & 63)).Clear(NodeID((i + 7) & 63))
+		if v.Has(NodeID(i & 63)) {
+			v = v.Set(NodeID((i + 1) & 63))
+		}
+	}
+	_ = v
 }

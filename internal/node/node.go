@@ -54,6 +54,16 @@ func New(cfg core.Config, opts ...Option) (*Machine, error) {
 		// completed barriers release at the group's window boundaries.
 		m.Bars = cpu.NewShardedBarrierSet(sys.EngFor, cfg.Nodes, cfg.BarrierLatency)
 		sys.Group().OnBarrier(m.Bars.Flush)
+		if sys.Group().Adaptive() {
+			// Barrier releases land at the last arrival time plus the
+			// barrier latency. Under a grown window the one shard that
+			// could outrun that instant is the shard executing the
+			// completing arrival itself, so cut its window there; every
+			// other shard is held back by the per-shard deadline bound.
+			m.Bars.SetOnComplete(func(core msg.NodeID) {
+				sys.EngFor(core).CutWindow()
+			})
+		}
 	} else {
 		m.Bars = cpu.NewBarrierSet(sys.Eng, cfg.Nodes, cfg.BarrierLatency)
 	}
@@ -61,6 +71,65 @@ func New(cfg core.Config, opts ...Option) (*Machine, error) {
 		o(m)
 	}
 	return m, nil
+}
+
+// prefetchOps is how many operations a lazy stream is pulled ahead at
+// machine setup so its first touches can be pre-resolved (see
+// preplaceFirstTouch). Prefilling happens before any event runs, so the
+// pull order — and therefore placement — is identical under every
+// scheduler.
+const prefetchOps = 4096
+
+// prefetchStream wraps a lazy Stream for a sharded run: construction
+// pulls up to prefetchOps operations into a replay buffer, which Next
+// serves back before delegating to the source again. The buffer is what
+// preplaceFirstTouch scans; a generator shorter than the buffer is
+// consumed whole and behaves exactly like a SliceStream.
+type prefetchStream struct {
+	src  cpu.Stream
+	buf  []cpu.Op
+	pos  int
+	done bool // src exhausted during prefill
+}
+
+func newPrefetchStream(src cpu.Stream, n int) *prefetchStream {
+	p := &prefetchStream{src: src}
+	for len(p.buf) < n {
+		op, ok := src.Next()
+		if !ok {
+			p.done = true
+			break
+		}
+		p.buf = append(p.buf, op)
+	}
+	return p
+}
+
+func (p *prefetchStream) Next() (cpu.Op, bool) {
+	if p.pos < len(p.buf) {
+		op := p.buf[p.pos]
+		p.pos++
+		return op, true
+	}
+	if p.done {
+		return cpu.Op{}, false
+	}
+	return p.src.Next()
+}
+
+// wrapLazyStreams returns streams with every non-SliceStream replaced by
+// a prefetchStream over it, so a sharded run can pre-scan at least a
+// bounded prefix of every program.
+func wrapLazyStreams(streams []cpu.Stream) []cpu.Stream {
+	out := make([]cpu.Stream, len(streams))
+	for i, s := range streams {
+		if _, ok := s.(*cpu.SliceStream); ok {
+			out[i] = s
+		} else {
+			out[i] = newPrefetchStream(s, prefetchOps)
+		}
+	}
+	return out
 }
 
 // preplaceFirstTouch resolves first-touch page placement ahead of a
@@ -72,9 +141,14 @@ func New(cfg core.Config, opts ...Option) (*Machine, error) {
 // winner would depend on which shard the scheduler ran first — breaking
 // serial/parallel equivalence. Pre-resolving with a scheduler-independent
 // rule — earliest barrier epoch wins, ties to the lowest node id — keeps
-// placement identical under every scheduler and shard count. Lazy streams
-// cannot be pre-scanned; they keep dynamic first touch, which stays
-// deterministic as long as their first touches are barrier-separated.
+// placement identical under every scheduler and shard count.
+//
+// Slice streams are scanned whole. Lazy streams contribute their
+// prefetched prefix (Run wraps them in prefetchStream first): pages
+// first touched beyond the prefix keep dynamic first touch, which stays
+// deterministic as long as those late first touches are barrier-
+// separated — the prefix exists to shrink that exposure to programs
+// thousands of operations in.
 func (m *Machine) preplaceFirstTouch(streams []cpu.Stream) {
 	type claim struct {
 		epoch int
@@ -83,12 +157,17 @@ func (m *Machine) preplaceFirstTouch(streams []cpu.Stream) {
 	mask := ^msg.Addr(m.Sys.Mem.PageBytes() - 1)
 	best := make(map[msg.Addr]claim)
 	for i, s := range streams {
-		ss, ok := s.(*cpu.SliceStream)
-		if !ok {
+		var ops []cpu.Op
+		switch st := s.(type) {
+		case *cpu.SliceStream:
+			ops = st.Ops
+		case *prefetchStream:
+			ops = st.buf
+		default:
 			return
 		}
 		epoch := 0
-		for _, op := range ss.Ops {
+		for _, op := range ops {
 			switch op.Kind {
 			case cpu.Barrier:
 				epoch++
@@ -117,6 +196,7 @@ func (m *Machine) Run(streams []cpu.Stream) (*stats.Stats, error) {
 		return nil, fmt.Errorf("node: %d streams for %d nodes", len(streams), m.Sys.Cfg.Nodes)
 	}
 	if m.Sys.Sharded() {
+		streams = wrapLazyStreams(streams)
 		m.preplaceFirstTouch(streams)
 	}
 	m.CPUs = make([]*cpu.CPU, len(streams))

@@ -10,6 +10,31 @@ import (
 	"pccsim/internal/workload"
 )
 
+// runMachine executes one workload on a fresh machine built from cfg and
+// returns the aggregated stats plus the number of conservative windows
+// the sharded scheduler dispatched (0 on a single engine).
+func runMachine(t *testing.T, wl *workload.Workload, cfg core.Config) (*stats.Stats, uint64) {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("%s nodes=%d shards=%d: %v", wl.Name, cfg.Nodes, cfg.Shards, err)
+	}
+	ops := wl.Build(workload.Params{Nodes: cfg.Nodes, Iters: 1})
+	streams := make([]cpu.Stream, len(ops))
+	for i := range ops {
+		streams[i] = &cpu.SliceStream{Ops: ops[i]}
+	}
+	st, err := m.Run(streams)
+	if err != nil {
+		t.Fatalf("%s nodes=%d shards=%d parallel=%v: %v", wl.Name, cfg.Nodes, cfg.Shards, cfg.ShardsParallel, err)
+	}
+	var windows uint64
+	if m.Sys.Sharded() {
+		windows = m.Sys.Group().Windows()
+	}
+	return st, windows
+}
+
 // runSharded executes one workload on a fresh machine with the given
 // shard configuration and returns the aggregated stats.
 func runSharded(t *testing.T, wl *workload.Workload, shards int, parallel bool) *stats.Stats {
@@ -20,19 +45,7 @@ func runSharded(t *testing.T, wl *workload.Workload, shards int, parallel bool) 
 	cfg.WatchdogSteps = 50_000_000
 	cfg.Shards = shards
 	cfg.ShardsParallel = parallel
-	m, err := New(cfg)
-	if err != nil {
-		t.Fatalf("shards=%d parallel=%v: %v", shards, parallel, err)
-	}
-	ops := wl.Build(workload.Params{Nodes: cfg.Nodes, Iters: 1})
-	streams := make([]cpu.Stream, len(ops))
-	for i := range ops {
-		streams[i] = &cpu.SliceStream{Ops: ops[i]}
-	}
-	st, err := m.Run(streams)
-	if err != nil {
-		t.Fatalf("%s shards=%d parallel=%v: %v", wl.Name, shards, parallel, err)
-	}
+	st, _ := runMachine(t, wl, cfg)
 	return st
 }
 
@@ -68,5 +81,88 @@ func TestShardedSmoke(t *testing.T) {
 	wl, _ := workload.ByName("em3d")
 	for _, shards := range []int{2, 16} {
 		runSharded(t, wl, shards, true)
+	}
+}
+
+// wideConfig is the 128-node delegation-only machine the wide-vector and
+// adaptive-window tests run on (updates stay off: cross-shard update
+// staging suppresses window growth by design).
+func wideConfig(nodes, shards int, parallel, adaptive bool) core.Config {
+	cfg := core.DefaultConfig().With(core.WithRAC(32), core.WithDelegation(32))
+	cfg.Nodes = nodes
+	cfg.CheckInvariants = true
+	cfg.WatchdogSteps = 200_000_000
+	cfg.Shards = shards
+	cfg.ShardsParallel = parallel
+	cfg.AdaptiveWindows = adaptive
+	return cfg
+}
+
+// TestShardEquivalence128Nodes scales the acceptance property past the
+// old 64-node sharing-vector limit: at 128 nodes, for every workload,
+// the parallel scheduler matches the deterministic serial one exactly.
+func TestShardEquivalence128Nodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("128-node sweep is long; run without -short")
+	}
+	shardCounts := []int{4, 16}
+	for _, wl := range workload.All() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, shards := range shardCounts {
+				det, _ := runMachine(t, wl, wideConfig(128, shards, false, false))
+				fast, _ := runMachine(t, wl, wideConfig(128, shards, true, false))
+				if !reflect.DeepEqual(det, fast) {
+					t.Errorf("%s at 128 nodes, %d shards: parallel stats diverge from deterministic",
+						wl.Name, shards)
+				}
+			}
+		})
+	}
+}
+
+// TestWideSmoke256 runs the full vector width: a 256-node machine (all
+// four words of msg.Vector populated) under the parallel adaptive
+// scheduler, quiesce-checked by Run.
+func TestWideSmoke256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-node run is long; run without -short")
+	}
+	wl, _ := workload.ByName("em3d")
+	runMachine(t, wl, wideConfig(256, 16, true, true))
+}
+
+// TestAdaptiveWindowsEquivalence asserts the adaptive scheduler's
+// contract: identical end-state stats to the fixed-window scheduler
+// (growth may only remove barriers, never reorder or retime events), in
+// both serial and parallel modes, with a strictly lower window count on
+// the barrier-heavy workload the optimization targets.
+func TestAdaptiveWindowsEquivalence(t *testing.T) {
+	for _, wl := range workload.All() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			t.Parallel()
+			fixed, fixedWin := runMachine(t, wl, wideConfig(16, 4, false, false))
+			adapt, adaptWin := runMachine(t, wl, wideConfig(16, 4, false, true))
+			if !reflect.DeepEqual(fixed, adapt) {
+				t.Errorf("%s: adaptive windows drift from fixed windows\nfixed:    %+v\nadaptive: %+v",
+					wl.Name, fixed, adapt)
+			}
+			if adaptWin > fixedWin {
+				t.Errorf("%s: adaptive dispatched more windows (%d) than fixed (%d)",
+					wl.Name, adaptWin, fixedWin)
+			}
+			par, parWin := runMachine(t, wl, wideConfig(16, 4, true, true))
+			if !reflect.DeepEqual(adapt, par) {
+				t.Errorf("%s: adaptive parallel stats diverge from adaptive serial", wl.Name)
+			}
+			if parWin != adaptWin {
+				t.Errorf("%s: adaptive window count differs: serial %d, parallel %d", wl.Name, adaptWin, parWin)
+			}
+			if wl.Name == "em3d" && adaptWin >= fixedWin {
+				t.Errorf("em3d: adaptive windows did not reduce barriers: %d >= %d", adaptWin, fixedWin)
+			}
+		})
 	}
 }

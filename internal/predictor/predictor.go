@@ -92,7 +92,7 @@ func (d *Detector) OnWrite(n msg.NodeID) (nowMarked bool) {
 	d.lastWriter = n
 	d.hasWriter = true
 	d.readerCount = 0
-	d.readers = 0
+	d.readers = msg.Vector{}
 	return nowMarked
 }
 
