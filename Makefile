@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test smoke bench bench-smoke fuzz-smoke fuzz clean
+.PHONY: check vet build test smoke soak bench bench-smoke fuzz-smoke fuzz clean
 
 check: vet build test smoke
 
@@ -18,6 +18,13 @@ smoke:
 	$(GO) run ./cmd/pccbench -exp fig7 -parallel 4 > /dev/null
 	@echo "smoke: pccbench -exp fig7 -parallel 4 OK"
 
+# The `pccsim serve` soak harness: builds the real binary, hammers one
+# server with 8 concurrent clients, and asserts the service contract
+# (memoized duplicates, byte-identity with the CLI, graceful SIGTERM
+# drain). CI runs this as its own job.
+soak:
+	PCCSIM_SOAK=1 PCCSIM_SOAK_CLIENTS=8 $(GO) test -count=1 -v -run TestSoak ./cmd/pccsim
+
 # Micro- and macro-benchmarks. The go benches cover the event engine, the
 # network delivery pipeline, the directory tables, and the bit-vector ops;
 # pccperf then refreshes BENCH_pr2.json with engine throughput and the
@@ -27,7 +34,7 @@ bench:
 		./internal/directory/... ./internal/addrtab/... ./internal/msg/... \
 		./internal/obs/... .
 	$(GO) run ./cmd/pccperf -o BENCH_pr2.json
-	$(GO) run ./cmd/pccperf -shards-sweep -shards-o BENCH_pr7.json
+	$(GO) run ./cmd/pccperf -shards-sweep -shards-o BENCH_pr8.json
 
 # One-iteration bench smoke for CI: compiles and runs every benchmark
 # once, then gates the engine and suite numbers against the committed
@@ -39,7 +46,7 @@ bench-smoke:
 	$(GO) test -run ZeroAlloc -count=1 ./internal/sim/... ./internal/network/... \
 		./internal/addrtab/... ./internal/obs/...
 	$(GO) run ./cmd/pccperf -check BENCH_pr2.json
-	$(GO) run ./cmd/pccperf -check-shards BENCH_pr7.json
+	$(GO) run ./cmd/pccperf -check-shards BENCH_pr8.json
 
 # Seeded fuzzing under fault injection. fuzz-smoke is the quick PR gate;
 # fuzz is the long campaign the nightly workflow runs.

@@ -2,7 +2,9 @@
 // small JSON file (BENCH_pr2.json by default): raw event-engine throughput
 // on the protocol's latency mix, and the wall time and event count of the
 // full pccbench experiment suite. The file is the PR-over-PR performance
-// record the Makefile's bench target refreshes.
+// record the Makefile's bench target refreshes. The measurement and gate
+// logic lives in internal/perf so `pccsim serve` can run the same
+// benchmarks as HTTP jobs.
 //
 //	pccperf                       # writes BENCH_pr2.json
 //	pccperf -o - -quick           # print to stdout, small suite run
@@ -13,79 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"sync/atomic"
-	"time"
 
 	"pccsim/internal/cli"
-	"pccsim/internal/harness"
-	"pccsim/internal/msg"
-	"pccsim/internal/runner"
-	"pccsim/internal/sim"
+	"pccsim/internal/perf"
 )
-
-// report is the schema of BENCH_pr2.json.
-type report struct {
-	// Engine is the single-cell event-engine microbenchmark: a pure
-	// schedule/step churn over the protocol's characteristic delays.
-	Engine struct {
-		Events       uint64  `json:"events"`
-		WallSeconds  float64 `json:"wall_seconds"`
-		EventsPerSec float64 `json:"events_per_sec"`
-		NsPerEvent   float64 `json:"ns_per_event"`
-	} `json:"engine"`
-	// Suite is the full pccbench -exp all run (all experiment cells).
-	Suite struct {
-		Cells        int     `json:"cells"`
-		Events       uint64  `json:"events"`
-		WallSeconds  float64 `json:"wall_seconds"`
-		EventsPerSec float64 `json:"events_per_sec"`
-		Parallel     int     `json:"parallel"`
-		Scale        int     `json:"scale"`
-	} `json:"suite"`
-	GoVersion string `json:"go_version"`
-	CPUs      int    `json:"cpus"`
-	Timestamp string `json:"timestamp"`
-}
-
-// churnMix mirrors the protocol's characteristic event delays (crossbar,
-// hop, directory, DRAM) — the same mix BenchmarkEngineChurn in
-// internal/sim uses, so the two numbers are comparable.
-var churnMix = [8]sim.Time{20, 100, 50, 200, 100, 20, 100, 10}
-
-// churner is a self-rescheduling MsgHandler: each handled event schedules
-// its successor, exercising the typed, pooled hot path end to end.
-type churner struct {
-	eng  *sim.Engine
-	n    uint64
-	quit uint64
-}
-
-func (c *churner) HandleMsgEvent(op uint8, m *msg.Message) {
-	c.n++
-	if c.n >= c.quit {
-		c.eng.FreeMsg(m)
-		return
-	}
-	c.eng.AfterMsg(churnMix[c.n&7], c, op, m)
-}
-
-// benchEngine measures raw engine throughput over total events with k
-// independent event chains in flight.
-func benchEngine(total uint64, k int) (uint64, time.Duration) {
-	eng := sim.NewEngine()
-	c := &churner{eng: eng, quit: total}
-	for i := 0; i < k; i++ {
-		m := eng.NewMsg()
-		m.Addr = msg.Addr(i) * 128
-		eng.AfterMsg(churnMix[i&7], c, 0, m)
-	}
-	start := time.Now()
-	for eng.Pending() > 0 {
-		eng.Step()
-	}
-	return c.n, time.Since(start)
-}
 
 func main() {
 	fs := flag.NewFlagSet("pccperf", flag.ExitOnError)
@@ -98,7 +31,7 @@ func main() {
 	check := fs.String("check", "", "regression-gate mode: compare a fresh run against this baseline file instead of writing")
 	tolerance := fs.Float64("tolerance", 2.0, "with -check: fail if a metric is worse than baseline by more than this factor")
 	shardsSweep := fs.Bool("shards-sweep", false, "run the sharded-engine scaling sweep instead of the engine/suite benchmarks")
-	shardsOut := fs.String("shards-o", "BENCH_pr7.json", "with -shards-sweep: output file (- for stdout)")
+	shardsOut := fs.String("shards-o", "BENCH_pr8.json", "with -shards-sweep: output file (- for stdout)")
 	checkShardsFile := fs.String("check-shards", "", "gate mode: run a reduced shard sweep against this baseline file")
 	if err := cli.Parse(fs, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "pccperf:", err)
@@ -106,118 +39,53 @@ func main() {
 	}
 
 	if *shardsSweep {
-		os.Exit(writeShardSweep(*shardsOut))
-	}
-	if *checkShardsFile != "" {
-		os.Exit(checkShards(*checkShardsFile, *tolerance))
-	}
-
-	var rep report
-	rep.GoVersion = runtime.Version()
-	rep.CPUs = runtime.NumCPU()
-	rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
-
-	n, wall := benchEngine(*events, *chains)
-	rep.Engine.Events = n
-	rep.Engine.WallSeconds = wall.Seconds()
-	rep.Engine.EventsPerSec = float64(n) / wall.Seconds()
-	rep.Engine.NsPerEvent = float64(wall.Nanoseconds()) / float64(n)
-	fmt.Fprintf(os.Stderr, "pccperf: engine %d events in %v (%.1f Mev/s)\n",
-		n, wall.Round(time.Millisecond), rep.Engine.EventsPerSec/1e6)
-
-	if !*quick {
-		var cells atomic.Int64
-		var suiteEvents atomic.Uint64
-		opts := harness.Options{
-			Nodes: 16, Scale: *scale, Parallel: *parallel,
-			Progress: func(ev runner.Event) {
-				if ev.Done && ev.Err == nil && !ev.Cached {
-					cells.Add(1)
-					suiteEvents.Add(ev.Events)
-				}
-			},
-		}
-		start := time.Now()
-		if _, err := harness.RunAll(opts); err != nil {
+		rep, err := perf.RunShardSweep(perf.SweepNodeCounts(), perf.SweepShardCounts(), os.Stderr)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "pccperf:", err)
 			os.Exit(1)
 		}
-		suiteWall := time.Since(start)
-		rep.Suite.Cells = int(cells.Load())
-		rep.Suite.Events = suiteEvents.Load()
-		rep.Suite.WallSeconds = suiteWall.Seconds()
-		rep.Suite.EventsPerSec = float64(rep.Suite.Events) / suiteWall.Seconds()
-		rep.Suite.Parallel = *parallel
-		rep.Suite.Scale = *scale
-		fmt.Fprintf(os.Stderr, "pccperf: suite %d cells, %d events in %v (%.1f Mev/s)\n",
-			rep.Suite.Cells, rep.Suite.Events, suiteWall.Round(time.Millisecond),
-			rep.Suite.EventsPerSec/1e6)
+		os.Exit(emit(*shardsOut, rep))
+	}
+	if *checkShardsFile != "" {
+		if !perf.CheckShards(*checkShardsFile, *tolerance, os.Stderr) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := perf.Measure(perf.Options{
+		Events: *events, Chains: *chains,
+		Parallel: *parallel, Scale: *scale, Quick: *quick,
+	}, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pccperf:", err)
+		os.Exit(1)
 	}
 
 	if *check != "" {
-		os.Exit(checkBaseline(*check, &rep, *tolerance, *quick))
-	}
-
-	enc, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pccperf:", err)
-		os.Exit(1)
-	}
-	enc = append(enc, '\n')
-	if *out == "-" {
-		os.Stdout.Write(enc)
+		if !perf.CheckBaseline(*check, rep, *tolerance, *quick, os.Stderr) {
+			os.Exit(1)
+		}
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "pccperf:", err)
-		os.Exit(1)
-	}
+	os.Exit(emit(*out, rep))
 }
 
-// checkBaseline is the bench-regression gate: the fresh measurements in
-// rep must not be worse than the committed baseline by more than the
-// tolerance factor. Engine ns/event and suite wall time gate; event-count
-// drift (the workload itself changed) only warns, since a different
-// workload makes wall-time comparison advisory anyway. The generous
-// default tolerance absorbs machine-to-machine and CI-runner noise — the
-// gate exists to catch order-of-magnitude hot-loop regressions, not 10%
-// wobbles.
-func checkBaseline(path string, rep *report, tol float64, quick bool) int {
-	data, err := os.ReadFile(path)
+// emit writes v as indented JSON to path ("-" = stdout).
+func emit(path string, v any) int {
+	enc, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pccperf:", err)
 		return 1
 	}
-	var base report
-	if err := json.Unmarshal(data, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "pccperf: %s: %v\n", path, err)
+	enc = append(enc, '\n')
+	if path == "-" {
+		os.Stdout.Write(enc)
+		return 0
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pccperf:", err)
 		return 1
 	}
-
-	fail := 0
-	gate := func(name string, got, want float64) {
-		switch {
-		case want <= 0:
-			fmt.Fprintf(os.Stderr, "pccperf: check %-16s baseline missing; skipped\n", name)
-		case got > want*tol:
-			fmt.Fprintf(os.Stderr, "pccperf: check %-16s FAIL: %.2f vs baseline %.2f (> %.1fx)\n",
-				name, got, want, tol)
-			fail = 1
-		default:
-			fmt.Fprintf(os.Stderr, "pccperf: check %-16s ok: %.2f vs baseline %.2f (%.2fx)\n",
-				name, got, want, got/want)
-		}
-	}
-	gate("engine-ns/event", rep.Engine.NsPerEvent, base.Engine.NsPerEvent)
-	if !quick {
-		gate("suite-wall-s", rep.Suite.WallSeconds, base.Suite.WallSeconds)
-		if base.Suite.Events != 0 && rep.Suite.Events != base.Suite.Events {
-			fmt.Fprintf(os.Stderr, "pccperf: check suite-events       warn: %d vs baseline %d (workload changed; wall gate is advisory)\n",
-				rep.Suite.Events, base.Suite.Events)
-		}
-	}
-	if fail == 0 {
-		fmt.Fprintf(os.Stderr, "pccperf: check OK against %s (tolerance %.1fx)\n", path, tol)
-	}
-	return fail
+	return 0
 }

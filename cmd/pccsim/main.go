@@ -10,6 +10,13 @@
 //
 //	pccsim trace -workload em3d > em3d.json
 //	pccsim trace -workload em3d -out em3d.json -delay 100
+//
+// The serve subcommand turns the simulator into a multi-tenant job
+// service (run/experiment/fuzz/bench jobs over HTTP with memoized
+// results and streaming progress), and submit is its thin client:
+//
+//	pccsim serve -addr :8344 -queue 64 -quota 8
+//	pccsim submit -server http://127.0.0.1:8344 -json '{"workload":"em3d","nodes":16}'
 package main
 
 import (
@@ -19,11 +26,19 @@ import (
 	"strings"
 
 	"pccsim"
+	"pccsim/internal/harness"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "trace" {
-		os.Exit(traceMain(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace":
+			os.Exit(traceMain(os.Args[2:]))
+		case "serve":
+			os.Exit(serveMain(os.Args[2:]))
+		case "submit":
+			os.Exit(submitMain(os.Args[2:]))
+		}
 	}
 
 	wl := flag.String("workload", "em3d", "benchmark: "+strings.Join(pccsim.Workloads(), "|"))
@@ -79,8 +94,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pccsim:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("workload %s on %d nodes (scale %d)\n", *wl, *nodes, *scale)
-	st.Dump(os.Stdout)
+	harness.WriteRunReport(os.Stdout, *wl, *nodes, *scale, st)
 	if rec != nil {
 		fmt.Printf("\n== last %d coherence messages (%d recorded) ==\n", *traceN, rec.Total())
 		rec.Dump(os.Stdout)

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pccsim/internal/cli"
+	"pccsim/internal/serve"
+)
+
+// parseServeConfig resolves the serve subcommand's configuration with the
+// shared flag > config-file > default precedence. Factored from serveMain
+// so the precedence of the server flags is unit-testable.
+func parseServeConfig(args []string) (serve.Config, error) {
+	fs := flag.NewFlagSet("pccsim serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address (host:port; :0 picks a free port)")
+	queue := fs.Int("queue", 64, "bounded job-queue depth (full queue returns 429)")
+	workers := fs.Int("workers", 2, "concurrent job executors")
+	quota := fs.Int("quota", 8, "per-tenant active-job quota (<0 = unlimited)")
+	simWorkers := fs.Int("sim-workers", 0, "shared simulation worker pool for experiment batches (0 = GOMAXPROCS)")
+	drain := fs.Duration("drain-timeout", 2*time.Minute, "graceful-drain budget before in-flight jobs are interrupted")
+	if err := cli.Parse(fs, args); err != nil {
+		return serve.Config{}, err
+	}
+	return serve.Config{
+		Addr:          *addr,
+		QueueDepth:    *queue,
+		Workers:       *workers,
+		TenantQuota:   *quota,
+		RunnerWorkers: *simWorkers,
+		DrainTimeout:  *drain,
+	}, nil
+}
+
+// serveMain implements `pccsim serve`: run the job service until SIGTERM
+// or SIGINT, then drain gracefully — refuse new submissions, let queued
+// and running jobs finish (interrupting them only if the drain budget
+// expires), and only then close the listener so attached event streams
+// observe their jobs' completion.
+func serveMain(args []string) int {
+	cfg, err := parseServeConfig(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pccsim serve:", err)
+		return 2
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	cfg.Log = logger
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pccsim serve:", err)
+		return 1
+	}
+	srv := serve.New(cfg)
+	hs := &http.Server{Handler: srv.Handler()}
+	// The listening line is the startup handshake: the soak harness and
+	// CI scripts parse the actual address from it (relevant with :0).
+	logger.Printf("pccsim serve: listening on http://%s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "pccsim serve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("pccsim serve: signal received; draining")
+
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	srv.Drain(dctx)
+	cancel()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		logger.Printf("pccsim serve: shutdown: %v", err)
+		hs.Close()
+		return 1
+	}
+	logger.Printf("pccsim serve: bye")
+	return 0
+}

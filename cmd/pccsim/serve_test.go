@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestParseServeConfigPrecedence pins the flag > config-file > default
+// resolution order for the server's own knobs, the same contract every
+// pccsim tool gets from internal/cli.
+func TestParseServeConfigPrecedence(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "serve.json")
+	if err := os.WriteFile(file, []byte(`{
+		"addr": "127.0.0.1:9999",
+		"queue": 7,
+		"quota": 3,
+		"drain-timeout": "30s"
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("defaults", func(t *testing.T) {
+		cfg, err := parseServeConfig(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Addr != "127.0.0.1:8344" || cfg.QueueDepth != 64 || cfg.Workers != 2 ||
+			cfg.TenantQuota != 8 || cfg.DrainTimeout != 2*time.Minute {
+			t.Errorf("defaults = %+v", cfg)
+		}
+	})
+
+	t.Run("file overrides defaults", func(t *testing.T) {
+		cfg, err := parseServeConfig([]string{"-config", file})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Addr != "127.0.0.1:9999" || cfg.QueueDepth != 7 ||
+			cfg.TenantQuota != 3 || cfg.DrainTimeout != 30*time.Second {
+			t.Errorf("file-loaded config = %+v", cfg)
+		}
+		if cfg.Workers != 2 {
+			t.Errorf("workers = %d, want built-in default 2 (file does not set it)", cfg.Workers)
+		}
+	})
+
+	t.Run("explicit flag beats file", func(t *testing.T) {
+		cfg, err := parseServeConfig([]string{"-config", file, "-queue", "5", "-addr", "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.QueueDepth != 5 || cfg.Addr != "127.0.0.1:0" {
+			t.Errorf("explicit flags lost to the file: %+v", cfg)
+		}
+		if cfg.TenantQuota != 3 {
+			t.Errorf("quota = %d, want 3 from the file (flag not given)", cfg.TenantQuota)
+		}
+	})
+
+	t.Run("unknown file key errors", func(t *testing.T) {
+		bad := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(bad, []byte(`{"qeueu": 7}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parseServeConfig([]string{"-config", bad}); err == nil {
+			t.Error("typoed config key was accepted silently")
+		}
+	})
+}

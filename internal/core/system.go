@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 
 	"pccsim/internal/mem"
@@ -61,6 +62,10 @@ type System struct {
 	obsBufs  []*obs.Sink
 	// checkSeen dedupes deferred invariant checks within one barrier.
 	checkSeen map[msg.Addr]struct{}
+
+	// intr is the cooperative-cancellation flag armed on both schedulers
+	// at construction; see Interrupt.
+	intr atomic.Bool
 }
 
 // shardState is one shard's core-layer staging area: cross-shard hub
@@ -133,6 +138,7 @@ func NewSystem(cfg Config) (*System, error) {
 		// Registered after the network's mailbox drain: staged messages
 		// land before deferred checks and the obs merge run.
 		sys.grp.OnBarrier(sys.shardBarrier)
+		sys.grp.SetInterrupt(&sys.intr)
 	} else {
 		eng := sim.NewEngine()
 		netStats := stats.New()
@@ -140,6 +146,7 @@ func NewSystem(cfg Config) (*System, error) {
 		sys.Net = network.New(eng, cfg.Network, netStats)
 		sys.NetStats = netStats
 		sys.netStats = []*stats.Stats{netStats}
+		eng.SetInterrupt(&sys.intr)
 	}
 	sys.Hubs = make([]*Hub, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
@@ -371,6 +378,15 @@ func (s *System) RunGuarded() (sim.Time, error) {
 	}
 	return t, err
 }
+
+// Interrupt asks a running simulation to stop cooperatively: the event
+// loop notices the flag between events (single engine) or at the next
+// window barrier (sharded) and RunGuarded returns sim.ErrInterrupted.
+// Safe to call from any goroutine, before or during a run; calling it
+// after a run merely makes the next run stop immediately. It never
+// perturbs event order, so a run that finishes before the flag is seen
+// is bit-identical to an uninterrupted one.
+func (s *System) Interrupt() { s.intr.Store(true) }
 
 // LatestVersion exposes the data-version oracle (tests and the workload
 // validators use it to confirm consumers saw produced values).

@@ -81,6 +81,16 @@ func NewSession(opts Options) *Session {
 	return &Session{Opts: opts, r: runner.New(opts.Parallel, opts.Progress)}
 }
 
+// NewSessionOn creates a session on an existing runner instead of a
+// private pool. Sessions sharing a runner share its memo, so a
+// long-running server can build one throwaway Session per request and
+// still have every repeated cell — across requests and tenants —
+// simulate exactly once. opts.Parallel and opts.Progress are ignored;
+// the runner's own pool size and hook apply.
+func NewSessionOn(r *runner.Runner, opts Options) *Session {
+	return &Session{Opts: opts, r: r}
+}
+
 // Cells reports how many unique simulation cells this session has run.
 func (s *Session) Cells() int { return s.r.Cells() }
 

@@ -7,10 +7,20 @@ import (
 	"text/tabwriter"
 
 	"pccsim/internal/core"
+	"pccsim/internal/stats"
 	"pccsim/internal/workload"
 )
 
 func mathPow(x, y float64) float64 { return math.Pow(x, y) }
+
+// WriteRunReport renders the canonical single-run report: the header line
+// followed by the full stats dump. The pccsim CLI and the serve result
+// path both render through here, which is what makes an HTTP-submitted
+// run's body byte-identical to the equivalent CLI invocation's stdout.
+func WriteRunReport(w io.Writer, workload string, nodes, scale int, st *stats.Stats) {
+	fmt.Fprintf(w, "workload %s on %d nodes (scale %d)\n", workload, nodes, scale)
+	st.Dump(w)
+}
 
 // PrintTable1 renders the system configuration (the paper's Table 1).
 func PrintTable1(w io.Writer, cfg core.Config) {

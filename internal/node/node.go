@@ -185,6 +185,11 @@ func (m *Machine) preplaceFirstTouch(streams []cpu.Stream) {
 	}
 }
 
+// Interrupt asks an in-flight Run to stop cooperatively: the event loop
+// notices between events and Run returns an error wrapping
+// sim.ErrInterrupted. Safe from any goroutine; see core.System.Interrupt.
+func (m *Machine) Interrupt() { m.Sys.Interrupt() }
+
 // Run executes one stream per node to completion and returns aggregated
 // statistics; ExecCycles is the parallel-phase makespan (the time the last
 // core finishes). It returns an error if the program deadlocks (the event

@@ -1,8 +1,9 @@
-package main
+package perf
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"reflect"
 	"runtime"
@@ -15,20 +16,20 @@ import (
 	"pccsim/internal/workload"
 )
 
-// shardReport is the schema of BENCH_pr7.json: the sharded-engine scaling
+// ShardReport is the schema of BENCH_pr8.json: the sharded-engine scaling
 // record. Speedups are honest host measurements — on a single-CPU runner
 // the parallel scheduler cannot beat the serial one, which is why CPUs is
 // part of the record and the check gate treats speedup as informational
 // when the host lacks cores.
-type shardReport struct {
+type ShardReport struct {
 	Workload  string      `json:"workload"`
 	GoVersion string      `json:"go_version"`
 	CPUs      int         `json:"cpus"`
 	Timestamp string      `json:"timestamp"`
-	Cells     []shardCell `json:"cells"`
+	Cells     []ShardCell `json:"cells"`
 }
 
-// shardCell is one (nodes, shards) measurement. Shards == 1 is the serial
+// ShardCell is one (nodes, shards) measurement. Shards == 1 is the serial
 // baseline its row's speedups are relative to. StatsMatch reports whether
 // the parallel scheduler's end-state Stats equalled the deterministic
 // serial scheduler's at the same shard count — the correctness gate that
@@ -37,7 +38,7 @@ type shardReport struct {
 // hold (adaptation only removes barriers, never retimes events) and
 // Windows vs AdaptiveWindows is the barrier count the optimization
 // removed.
-type shardCell struct {
+type ShardCell struct {
 	Nodes       int     `json:"nodes"`
 	Shards      int     `json:"shards"`
 	Parallel    bool    `json:"parallel"`
@@ -52,6 +53,11 @@ type shardCell struct {
 	AdaptiveNsPerEvent float64 `json:"adaptive_ns_per_event,omitempty"`
 	AdaptiveMatch      bool    `json:"adaptive_stats_match,omitempty"`
 }
+
+// SweepNodeCounts and SweepShardCounts are the full scaling grid the
+// committed BENCH baseline covers.
+func SweepNodeCounts() []int  { return []int{16, 32, 64, 128, 256} }
+func SweepShardCounts() []int { return []int{1, 2, 4, 8, 16} }
 
 // shardRun executes the sweep workload once on a machine with the given
 // shard configuration; the returned stats feed the serial/parallel and
@@ -90,14 +96,18 @@ func shardRun(nodes, shards int, parallel, adaptive bool) (*stats.Stats, uint64,
 	return st, m.Sys.Steps(), windows, wall, nil
 }
 
-// runShardSweep measures em3d across the node-count × shard-count grid
-// and returns the scaling report. Node counts run up to msg.MaxNodes
-// (256): the sharing vector is a four-word full map. Each multi-shard
-// cell is measured three ways — parallel fixed-window (the headline
-// numbers), serial fixed-window (the stats-match reference) and parallel
-// adaptive (the barrier-reduction columns).
-func runShardSweep(nodeCounts, shardCounts []int) (*shardReport, error) {
-	rep := &shardReport{
+// RunShardSweep measures em3d across the node-count × shard-count grid
+// and returns the scaling report, logging one line per cell to log (nil =
+// quiet). Node counts run up to msg.MaxNodes (256): the sharing vector is
+// a four-word full map. Each multi-shard cell is measured three ways —
+// parallel fixed-window (the headline numbers), serial fixed-window (the
+// stats-match reference) and parallel adaptive (the barrier-reduction
+// columns).
+func RunShardSweep(nodeCounts, shardCounts []int, log io.Writer) (*ShardReport, error) {
+	if log == nil {
+		log = io.Discard
+	}
+	rep := &ShardReport{
 		Workload:  "em3d",
 		GoVersion: runtime.Version(),
 		CPUs:      runtime.NumCPU(),
@@ -114,7 +124,7 @@ func runShardSweep(nodeCounts, shardCounts []int) (*shardReport, error) {
 			if err != nil {
 				return nil, fmt.Errorf("nodes=%d shards=%d: %w", n, sh, err)
 			}
-			cell := shardCell{
+			cell := ShardCell{
 				Nodes: n, Shards: sh, Parallel: parallel,
 				Events:      events,
 				WallSeconds: wall.Seconds(),
@@ -141,7 +151,7 @@ func runShardSweep(nodeCounts, shardCounts []int) (*shardReport, error) {
 				cell.AdaptiveNsPerEvent = float64(awall.Nanoseconds()) / float64(aevents)
 				cell.AdaptiveMatch = reflect.DeepEqual(st, ast)
 			}
-			fmt.Fprintf(os.Stderr, "pccperf: shards nodes=%-3d shards=%-2d %9d events in %-10v %6.1f ns/ev speedup=%.2f match=%v windows=%d adaptive=%d amatch=%v\n",
+			fmt.Fprintf(log, "pccperf: shards nodes=%-3d shards=%-2d %9d events in %-10v %6.1f ns/ev speedup=%.2f match=%v windows=%d adaptive=%d amatch=%v\n",
 				n, sh, cell.Events, wall.Round(time.Millisecond), cell.NsPerEvent, cell.Speedup,
 				cell.StatsMatch, cell.Windows, cell.AdaptiveWindows, cell.AdaptiveMatch)
 			rep.Cells = append(rep.Cells, cell)
@@ -150,49 +160,29 @@ func runShardSweep(nodeCounts, shardCounts []int) (*shardReport, error) {
 	return rep, nil
 }
 
-// writeShardSweep runs the full sweep and writes BENCH_pr7.json (or path).
-func writeShardSweep(path string) int {
-	rep, err := runShardSweep([]int{16, 32, 64, 128, 256}, []int{1, 2, 4, 8, 16})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pccperf:", err)
-		return 1
-	}
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pccperf:", err)
-		return 1
-	}
-	enc = append(enc, '\n')
-	if path == "-" {
-		os.Stdout.Write(enc)
-		return 0
-	}
-	if err := os.WriteFile(path, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "pccperf:", err)
-		return 1
-	}
-	return 0
-}
-
-// checkShards is the sharded-engine gate for bench-smoke: a reduced sweep
+// CheckShards is the sharded-engine gate for bench-smoke: a reduced sweep
 // (16 nodes at 1 and 4 shards) whose parallel stats MUST match the
 // deterministic scheduler's, whose adaptive stats MUST match the fixed-
 // window scheduler's, and whose ns/event must stay within the tolerance
 // factor of the committed baseline's matching cell. Speedup is
 // informational: it gates nothing unless the host actually has cores to
 // parallelize over, and even then only warns — wall-clock scaling claims
-// belong in BENCH_pr7.json with the CPU count attached, not in a CI gate
-// that runs on arbitrary machines.
-func checkShards(path string, tol float64) int {
+// belong in the BENCH baseline with the CPU count attached, not in a CI
+// gate that runs on arbitrary machines. It reports whether the gate
+// passed.
+func CheckShards(path string, tol float64, log io.Writer) bool {
+	if log == nil {
+		log = io.Discard
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pccperf:", err)
-		return 1
+		fmt.Fprintln(log, "pccperf:", err)
+		return false
 	}
-	var base shardReport
+	var base ShardReport
 	if err := json.Unmarshal(data, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "pccperf: %s: %v\n", path, err)
-		return 1
+		fmt.Fprintf(log, "pccperf: %s: %v\n", path, err)
+		return false
 	}
 	baseNs := func(nodes, shards int) float64 {
 		for _, c := range base.Cells {
@@ -203,44 +193,44 @@ func checkShards(path string, tol float64) int {
 		return 0
 	}
 
-	rep, err := runShardSweep([]int{16}, []int{1, 4})
+	rep, err := RunShardSweep([]int{16}, []int{1, 4}, log)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pccperf:", err)
-		return 1
+		fmt.Fprintln(log, "pccperf:", err)
+		return false
 	}
-	fail := 0
+	ok := true
 	for _, c := range rep.Cells {
 		name := fmt.Sprintf("shards-%dn%ds", c.Nodes, c.Shards)
 		if !c.StatsMatch {
-			fmt.Fprintf(os.Stderr, "pccperf: check %-16s FAIL: parallel stats diverge from deterministic\n", name)
-			fail = 1
+			fmt.Fprintf(log, "pccperf: check %-16s FAIL: parallel stats diverge from deterministic\n", name)
+			ok = false
 		}
 		if c.Shards > 1 && !c.AdaptiveMatch {
-			fmt.Fprintf(os.Stderr, "pccperf: check %-16s FAIL: adaptive-window stats diverge from fixed-window\n", name)
-			fail = 1
+			fmt.Fprintf(log, "pccperf: check %-16s FAIL: adaptive-window stats diverge from fixed-window\n", name)
+			ok = false
 		}
 		if c.Shards > 1 && c.AdaptiveWindows >= c.Windows {
-			fmt.Fprintf(os.Stderr, "pccperf: check %-16s FAIL: adaptive windows %d did not reduce the fixed count %d\n",
+			fmt.Fprintf(log, "pccperf: check %-16s FAIL: adaptive windows %d did not reduce the fixed count %d\n",
 				name, c.AdaptiveWindows, c.Windows)
-			fail = 1
+			ok = false
 		}
 		if want := baseNs(c.Nodes, c.Shards); want <= 0 {
-			fmt.Fprintf(os.Stderr, "pccperf: check %-16s baseline cell missing; skipped\n", name)
+			fmt.Fprintf(log, "pccperf: check %-16s baseline cell missing; skipped\n", name)
 		} else if c.NsPerEvent > want*tol {
-			fmt.Fprintf(os.Stderr, "pccperf: check %-16s FAIL: %.2f ns/ev vs baseline %.2f (> %.1fx)\n",
+			fmt.Fprintf(log, "pccperf: check %-16s FAIL: %.2f ns/ev vs baseline %.2f (> %.1fx)\n",
 				name, c.NsPerEvent, want, tol)
-			fail = 1
+			ok = false
 		} else {
-			fmt.Fprintf(os.Stderr, "pccperf: check %-16s ok: %.2f ns/ev vs baseline %.2f (%.2fx)\n",
+			fmt.Fprintf(log, "pccperf: check %-16s ok: %.2f ns/ev vs baseline %.2f (%.2fx)\n",
 				name, c.NsPerEvent, want, c.NsPerEvent/want)
 		}
 		if c.Shards > 1 && runtime.NumCPU() >= c.Shards && c.Speedup < 1 {
-			fmt.Fprintf(os.Stderr, "pccperf: check %-16s warn: speedup %.2fx on %d CPUs\n",
+			fmt.Fprintf(log, "pccperf: check %-16s warn: speedup %.2fx on %d CPUs\n",
 				name, c.Speedup, runtime.NumCPU())
 		}
 	}
-	if fail == 0 {
-		fmt.Fprintf(os.Stderr, "pccperf: check-shards OK against %s (tolerance %.1fx)\n", path, tol)
+	if ok {
+		fmt.Fprintf(log, "pccperf: check-shards OK against %s (tolerance %.1fx)\n", path, tol)
 	}
-	return fail
+	return ok
 }

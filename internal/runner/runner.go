@@ -13,6 +13,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -21,6 +23,7 @@ import (
 	"pccsim/internal/core"
 	"pccsim/internal/cpu"
 	"pccsim/internal/node"
+	"pccsim/internal/sim"
 	"pccsim/internal/stats"
 	"pccsim/internal/workload"
 )
@@ -38,6 +41,13 @@ type Job struct {
 	Workload *workload.Workload
 	// Params sizes the workload build.
 	Params workload.Params
+	// Attach, when non-nil, receives the freshly built machine before it
+	// runs — the place to hang an observability sink for live progress.
+	// It is not part of the cell's fingerprint and fires only when this
+	// job actually simulates (a duplicate served from the memo never
+	// builds a machine), so it must not change simulation results;
+	// attaching an obs sink satisfies that by construction.
+	Attach func(*node.Machine)
 }
 
 // Event is one progress notification. Each cell that actually simulates
@@ -67,15 +77,6 @@ func Fingerprint(cfg core.Config, workloadName string, p workload.Params) string
 	return fmt.Sprintf("%s|%#v|%#v", workloadName, cfg, p)
 }
 
-// cell is one memoized simulation: the first job to claim a fingerprint
-// runs it and closes done; identical jobs wait and share the result.
-type cell struct {
-	done  chan struct{}
-	st    *stats.Stats
-	steps uint64
-	err   error
-}
-
 // Runner schedules jobs over a worker pool with cross-call memoization.
 // The zero value is not ready; use New. A Runner may be reused across many
 // Run calls (the harness shares one per report so cells recur for free)
@@ -83,9 +84,7 @@ type cell struct {
 type Runner struct {
 	workers  int
 	progress ProgressFunc
-
-	mu    sync.Mutex
-	cells map[string]*cell
+	cells    *cache
 }
 
 // New returns a Runner with the given worker-pool size (0 or negative
@@ -94,7 +93,7 @@ func New(workers int, progress ProgressFunc) *Runner {
 	return &Runner{
 		workers:  workers,
 		progress: progress,
-		cells:    make(map[string]*cell),
+		cells:    newCache(),
 	}
 }
 
@@ -108,11 +107,12 @@ func (r *Runner) Workers() int {
 
 // Cells reports how many unique cells have been simulated (or are in
 // flight) so far.
-func (r *Runner) Cells() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.cells)
-}
+func (r *Runner) Cells() int { return r.cells.len() }
+
+// CacheStats reports memo traffic since construction: hits counts claims
+// satisfied by an existing cell (including in-flight ones the claimant
+// waited on), misses counts cells this Runner had to simulate.
+func (r *Runner) CacheStats() (hits, misses uint64) { return r.cells.stats() }
 
 // Run executes every job and returns their statistics in submission
 // order, independent of completion order. Duplicate cells — within this
@@ -164,30 +164,58 @@ func (r *Runner) RunOne(job Job) (*stats.Stats, error) {
 	return r.exec(job)
 }
 
+// RunOneCtx executes a single job through the memo under a context.
+// cached reports whether the result came from an existing cell rather
+// than a simulation owned by this call. Cancelling ctx stops the call:
+// a waiter detaches immediately with ctx.Err() (the owning simulation,
+// which other claimants may still want, keeps running), while an owner
+// interrupts its machine cooperatively and returns an error wrapping
+// sim.ErrInterrupted. An interrupted cell is forgotten — it holds no
+// result — so a later submission of the same fingerprint simulates
+// fresh. Deterministic failures (bad config, deadlock) stay memoized
+// like they always were.
+func (r *Runner) RunOneCtx(ctx context.Context, job Job) (st *stats.Stats, cached bool, err error) {
+	key := Fingerprint(job.Cfg, job.Workload.Name, job.Params)
+	c, owned := r.cells.claim(key)
+	if !owned {
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		r.notify(Event{Label: job.Label, Fingerprint: key, Done: true,
+			Cached: true, Err: c.err})
+		return c.st, true, c.err
+	}
+	c.st, c.steps, c.err = r.simulate(ctx, job, key)
+	if c.err != nil && (errors.Is(c.err, sim.ErrInterrupted) || ctx.Err() != nil) {
+		r.cells.forget(key, c)
+	}
+	close(c.done)
+	return c.st, false, c.err
+}
+
 // exec resolves one job through the memo, simulating on a miss.
 func (r *Runner) exec(job Job) (*stats.Stats, error) {
 	key := Fingerprint(job.Cfg, job.Workload.Name, job.Params)
-	r.mu.Lock()
-	c, ok := r.cells[key]
-	if ok {
-		r.mu.Unlock()
+	c, owned := r.cells.claim(key)
+	if !owned {
 		<-c.done // another worker may still be simulating this cell
 		r.notify(Event{Label: job.Label, Fingerprint: key, Done: true,
 			Cached: true, Err: c.err})
 		return c.st, c.err
 	}
-	c = &cell{done: make(chan struct{})}
-	r.cells[key] = c
-	r.mu.Unlock()
-
-	c.st, c.steps, c.err = r.simulate(job, key)
+	c.st, c.steps, c.err = r.simulate(context.Background(), job, key)
 	close(c.done)
 	return c.st, c.err
 }
 
 // simulate runs one cell on a private machine, threading the progress
-// hook through node.New into the core.System event loop.
-func (r *Runner) simulate(job Job, key string) (*stats.Stats, uint64, error) {
+// hook through node.New into the core.System event loop. A cancellable
+// ctx gets a watcher goroutine that interrupts the machine when it
+// fires; the interrupt is cooperative and never perturbs event order,
+// so a run that finishes first is identical to an unwatched one.
+func (r *Runner) simulate(ctx context.Context, job Job, key string) (*stats.Stats, uint64, error) {
 	var steps uint64
 	obs := core.Observer{
 		Start: func(*core.System) {
@@ -202,6 +230,20 @@ func (r *Runner) simulate(job Job, key string) (*stats.Stats, uint64, error) {
 	m, err := node.New(job.Cfg, node.WithObserver(obs))
 	if err != nil {
 		return nil, 0, err
+	}
+	if job.Attach != nil {
+		job.Attach(m)
+	}
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				m.Interrupt()
+			case <-stop:
+			}
+		}()
 	}
 	ops := job.Workload.Build(job.Params)
 	streams := make([]cpu.Stream, len(ops))

@@ -1,0 +1,461 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pccsim/internal/core"
+	"pccsim/internal/fault"
+	"pccsim/internal/harness"
+	"pccsim/internal/node"
+	"pccsim/internal/obs"
+	"pccsim/internal/perf"
+	"pccsim/internal/runner"
+	"pccsim/internal/sim"
+	"pccsim/internal/stats"
+	"pccsim/internal/workload"
+)
+
+// Job states. A job moves queued → running → one of the terminal states;
+// cancelled can also be reached straight from queued.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Job is one unit of server work: a simulation run, a harness experiment,
+// a fuzz campaign, or a benchmark measurement.
+type Job struct {
+	ID      string
+	Tenant  string
+	Kind    string
+	Created time.Time
+
+	// ctx is cancelled by DELETE and by drain timeouts; run jobs
+	// propagate it into the runner's cooperative interrupt.
+	ctx    context.Context
+	cancel context.CancelFunc
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+
+	// Live progress, written by the simulation's obs tap (run jobs) or
+	// the campaign logger; read by the SSE stream without locks.
+	obsEvents atomic.Uint64
+	simTime   atomic.Uint64
+
+	// run-job cell, kept for the trace endpoint's deterministic re-run.
+	cell *runCell
+
+	mu       sync.Mutex
+	specv    any // decoded kind-specific spec, set before enqueue
+	state    string
+	started  time.Time
+	finished time.Time
+	cached   bool // result came from the memo, not a fresh simulation
+	errMsg   string
+	body     []byte
+	ctype    string
+	released bool // tenant quota slot given back
+}
+
+type runCell struct {
+	cfg    core.Config
+	wl     *workload.Workload
+	params workload.Params
+}
+
+func (j *Job) setState(s string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = s
+	switch s {
+	case StateRunning:
+		j.started = time.Now()
+	case StateDone, StateFailed, StateCancelled:
+		j.finished = time.Now()
+	}
+}
+
+// Status is the wire form of a job's state, served by GET /v1/jobs/{id}
+// and embedded in SSE progress events.
+type Status struct {
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	Tenant    string `json:"tenant"`
+	State     string `json:"state"`
+	Cached    bool   `json:"cached,omitempty"`
+	Error     string `json:"error,omitempty"`
+	ObsEvents uint64 `json:"obs_events,omitempty"`
+	SimTime   uint64 `json:"sim_time,omitempty"`
+	Bytes     int    `json:"result_bytes,omitempty"`
+}
+
+func (j *Job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID: j.ID, Kind: j.Kind, Tenant: j.Tenant, State: j.state,
+		Cached: j.cached, Error: j.errMsg,
+		ObsEvents: j.obsEvents.Load(), SimTime: j.simTime.Load(),
+		Bytes: len(j.body),
+	}
+}
+
+// runSpec mirrors the pccsim CLI's root flags, default for default, so a
+// job body and a command line describe the same cell. Delay and Hop are
+// pointers because 0 is a meaningful override (nil = the CLI default).
+type runSpec struct {
+	Kind            string  `json:"kind"`
+	Workload        string  `json:"workload"`
+	Nodes           int     `json:"nodes"`
+	Scale           int     `json:"scale"`
+	Iters           int     `json:"iters"`
+	RAC             int     `json:"rac"`
+	Deledc          int     `json:"deledc"`
+	Updates         bool    `json:"updates"`
+	Delay           *uint64 `json:"delay"`
+	Hop             *uint64 `json:"hop"`
+	Check           bool    `json:"check"`
+	Shards          int     `json:"shards"`
+	Deterministic   bool    `json:"deterministic"`
+	AdaptiveWindows bool    `json:"adaptive_windows"`
+}
+
+// build produces exactly the configuration the pccsim CLI would build for
+// the equivalent flags — the first half of the CLI/HTTP byte-identity
+// contract (the second half is rendering through WriteRunReport).
+func (sp *runSpec) build() (*runCell, error) {
+	if sp.Workload == "" {
+		sp.Workload = "em3d"
+	}
+	if sp.Nodes == 0 {
+		sp.Nodes = 16
+	}
+	if sp.Scale == 0 {
+		sp.Scale = 1
+	}
+	delay, hop := uint64(50), uint64(100)
+	if sp.Delay != nil {
+		delay = *sp.Delay
+	}
+	if sp.Hop != nil {
+		hop = *sp.Hop
+	}
+	wl, err := workload.Lookup(sp.Workload)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Nodes = sp.Nodes
+	cfg.RACBytes = sp.RAC
+	cfg.DelegateEntries = sp.Deledc
+	cfg.EnableUpdates = sp.Updates && sp.RAC > 0 && sp.Deledc > 0
+	cfg.InterventionDelay = sim.Time(delay)
+	cfg.Network.HopLatency = sim.Time(hop)
+	cfg.CheckInvariants = sp.Check
+	if sp.Deterministic {
+		cfg = cfg.With(core.WithDeterministicShards(sp.Shards))
+	} else {
+		cfg = cfg.With(core.WithShards(sp.Shards))
+	}
+	if sp.AdaptiveWindows {
+		cfg = cfg.With(core.WithAdaptiveWindows())
+	}
+	return &runCell{cfg: cfg, wl: wl,
+		params: workload.Params{Nodes: sp.Nodes, Scale: sp.Scale, Iters: sp.Iters}}, nil
+}
+
+// execRun simulates one cell through the shared runner (so duplicates —
+// within this server's lifetime, across tenants — are served from the
+// memo) and renders the canonical run report.
+func (s *Server) execRun(j *Job, sp *runSpec) error {
+	cell, err := sp.build()
+	if err != nil {
+		return err
+	}
+	j.cell = cell
+	rj := runner.Job{
+		Label: "serve/" + j.ID, Cfg: cell.cfg, Workload: cell.wl, Params: cell.params,
+		Attach: func(m *node.Machine) {
+			// Progress rides the obs stream: a metrics-only sink whose tap
+			// counts protocol events and tracks the simulation clock. The
+			// sink never feeds back into the simulation, so attaching it
+			// keeps the run bit-identical to an unobserved one.
+			sink := obs.NewSink(0)
+			sink.Tap = func(e obs.Event) {
+				j.obsEvents.Add(1)
+				j.simTime.Store(uint64(e.At))
+			}
+			m.Sys.AttachObs(sink)
+		},
+	}
+	st, cached, err := s.runner.RunOneCtx(j.ctx, rj)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	writeRunReport(&buf, cell, st)
+	j.mu.Lock()
+	j.body, j.ctype, j.cached = buf.Bytes(), "text/plain; charset=utf-8", cached
+	j.mu.Unlock()
+	return nil
+}
+
+// experimentSpec selects one harness experiment; rendered as the same CSV
+// bytes pccbench writes.
+type experimentSpec struct {
+	Kind            string `json:"kind"`
+	Exp             string `json:"exp"`
+	Nodes           int    `json:"nodes"`
+	Scale           int    `json:"scale"`
+	Iters           int    `json:"iters"`
+	Shards          int    `json:"shards"`
+	Deterministic   bool   `json:"deterministic"`
+	AdaptiveWindows bool   `json:"adaptive_windows"`
+}
+
+// execExperiment runs one figure/table through a throwaway Session on the
+// server's shared runner: every cell an earlier request already simulated
+// is free. Experiments are batches without per-cell contexts, so they
+// cancel only while queued; once running they complete.
+func (s *Server) execExperiment(j *Job, sp *experimentSpec) error {
+	if sp.Nodes == 0 {
+		sp.Nodes = 16
+	}
+	if sp.Scale == 0 {
+		sp.Scale = 1
+	}
+	sess := harness.NewSessionOn(s.runner, harness.Options{
+		Nodes: sp.Nodes, Scale: sp.Scale, Iters: sp.Iters,
+		Shards: sp.Shards, Deterministic: sp.Deterministic,
+		AdaptiveWindows: sp.AdaptiveWindows,
+	})
+	var buf bytes.Buffer
+	var err error
+	switch sp.Exp {
+	case "fig7":
+		var rows []harness.Row
+		if rows, err = sess.Fig7(); err == nil {
+			err = harness.WriteFig7CSV(&buf, rows)
+		}
+	case "fig8":
+		var rows []harness.Fig8Row
+		if rows, err = sess.Fig8(); err == nil {
+			err = harness.WriteFig8CSV(&buf, rows)
+		}
+	case "fig9":
+		var rows []harness.Fig9Row
+		if rows, err = sess.Fig9(); err == nil {
+			err = harness.WriteFig9CSV(&buf, rows)
+		}
+	case "fig10":
+		var rows []harness.Fig10Row
+		if rows, err = sess.Fig10(); err == nil {
+			err = harness.WriteFig10CSV(&buf, rows)
+		}
+	case "fig11", "fig12":
+		var rows []harness.SweepRow
+		if sp.Exp == "fig11" {
+			rows, err = sess.Fig11()
+		} else {
+			rows, err = sess.Fig12()
+		}
+		if err == nil {
+			err = harness.WriteSweepCSV(&buf, rows)
+		}
+	case "table3":
+		var dist map[string][5]float64
+		if dist, err = sess.Table3(); err == nil {
+			err = harness.WriteTable3CSV(&buf, dist)
+		}
+	case "ablation":
+		var rows []harness.AblationRow
+		if rows, err = sess.Ablation(); err == nil {
+			err = harness.WriteAblationCSV(&buf, rows)
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q (fig7|fig8|fig9|fig10|fig11|fig12|table3|ablation)", sp.Exp)
+	}
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.body, j.ctype = buf.Bytes(), "text/csv; charset=utf-8"
+	j.mu.Unlock()
+	return nil
+}
+
+// fuzzSpec describes a seeded fuzz campaign — the nightly workflow's
+// 20-minute run is exactly this job with a date seed.
+type fuzzSpec struct {
+	Kind        string `json:"kind"`
+	Seed        int64  `json:"seed"`
+	Cases       int    `json:"cases"`
+	Budget      string `json:"budget"` // Go duration, e.g. "20m"
+	Workers     int    `json:"workers"`
+	Shrink      *int   `json:"shrink"`
+	MaxFailures *int   `json:"max_failures"`
+}
+
+// fuzzResult is a fuzz job's JSON body. Shrunk reproductions ride along
+// so a thin client can write corpus-format repro files on failure.
+type fuzzResult struct {
+	Ok        bool          `json:"ok"`
+	Cases     int           `json:"cases"`
+	Perturbed int           `json:"perturbed"`
+	Events    uint64        `json:"events"`
+	WallSecs  float64       `json:"wall_seconds"`
+	Failures  []fuzzFailure `json:"failures,omitempty"`
+}
+
+type fuzzFailure struct {
+	Seed    int64      `json:"seed"`
+	Failure string     `json:"failure"`
+	Shrunk  fault.Case `json:"shrunk"`
+}
+
+// execFuzz runs a campaign. The campaign itself is already bounded by
+// Cases/Budget and parallel across private engines; like experiments it
+// cancels only while queued. A campaign that finds failures still
+// completes as "done" — the verdict is in the body's ok field, where a
+// thin client turns it into an exit code after saving the repros.
+func (s *Server) execFuzz(j *Job, sp *fuzzSpec) error {
+	var budget time.Duration
+	if sp.Budget != "" {
+		var err error
+		if budget, err = time.ParseDuration(sp.Budget); err != nil {
+			return fmt.Errorf("budget: %w", err)
+		}
+	}
+	if sp.Cases == 0 && budget == 0 {
+		sp.Cases = 200
+	}
+	shrink, maxFail := 2000, 5
+	if sp.Shrink != nil {
+		shrink = *sp.Shrink
+	}
+	if sp.MaxFailures != nil {
+		maxFail = *sp.MaxFailures
+	}
+	cr := fault.RunCampaign(fault.CampaignOpts{
+		Seed: sp.Seed, Cases: sp.Cases, Budget: budget, Workers: sp.Workers,
+		ShrinkRuns: shrink, MaxFailures: maxFail, Log: jobLog{j},
+	})
+	res := fuzzResult{
+		Ok: len(cr.Failures) == 0, Cases: cr.Cases, Perturbed: cr.Perturbed,
+		Events: cr.Events, WallSecs: cr.Wall.Seconds(),
+	}
+	for _, f := range cr.Failures {
+		f.Shrunk.Note = fmt.Sprintf("shrunk from seed %d: %s", f.Seed, f.Result.Failure)
+		res.Failures = append(res.Failures, fuzzFailure{
+			Seed: f.Seed, Failure: f.Result.Failure, Shrunk: f.Shrunk,
+		})
+	}
+	return j.finishJSON(res)
+}
+
+// benchSpec describes a benchmark job: the engine/suite measurement
+// (optionally gated against a committed baseline) or the shard sweep.
+type benchSpec struct {
+	Kind        string  `json:"kind"`
+	Quick       bool    `json:"quick"`
+	Events      uint64  `json:"events"`
+	Chains      int     `json:"chains"`
+	Parallel    int     `json:"parallel"`
+	Scale       int     `json:"scale"`
+	Check       string  `json:"check"`        // baseline path, e.g. "BENCH_pr2.json"
+	Tolerance   float64 `json:"tolerance"`    // gate factor (0 = 2.0)
+	Sweep       bool    `json:"sweep"`        // run the shard sweep instead
+	SweepNodes  []int   `json:"sweep_nodes"`  // sweep grid override
+	SweepShards []int   `json:"sweep_shards"` // sweep grid override
+	CheckShards string  `json:"check_shards"` // reduced-sweep gate baseline path
+}
+
+// benchResult is a bench job's JSON body: the fresh measurement plus the
+// gate verdict when a baseline was named. Baseline paths resolve in the
+// server's working directory — the server runs in a repo checkout, so
+// "BENCH_pr2.json" means the committed record.
+type benchResult struct {
+	Ok     bool              `json:"ok"`
+	Report *perf.Report      `json:"report,omitempty"`
+	Sweep  *perf.ShardReport `json:"sweep,omitempty"`
+	Log    string            `json:"log"`
+}
+
+func (s *Server) execBench(j *Job, sp *benchSpec) error {
+	tol := sp.Tolerance
+	if tol == 0 {
+		tol = 2.0
+	}
+	res := benchResult{Ok: true}
+	var log bytes.Buffer
+	if sp.CheckShards != "" {
+		res.Ok = perf.CheckShards(sp.CheckShards, tol, &log)
+	} else if sp.Sweep {
+		nodes, shards := sp.SweepNodes, sp.SweepShards
+		if len(nodes) == 0 {
+			nodes = perf.SweepNodeCounts()
+		}
+		if len(shards) == 0 {
+			shards = perf.SweepShardCounts()
+		}
+		rep, err := perf.RunShardSweep(nodes, shards, &log)
+		if err != nil {
+			return err
+		}
+		res.Sweep = rep
+	} else {
+		rep, err := perf.Measure(perf.Options{
+			Events: sp.Events, Chains: sp.Chains,
+			Parallel: sp.Parallel, Scale: sp.Scale, Quick: sp.Quick,
+		}, &log)
+		if err != nil {
+			return err
+		}
+		res.Report = rep
+		if sp.Check != "" {
+			res.Ok = perf.CheckBaseline(sp.Check, rep, tol, sp.Quick, &log)
+		}
+	}
+	res.Log = log.String()
+	return j.finishJSON(res)
+}
+
+// finishJSON stores v as the job's application/json result body.
+func (j *Job) finishJSON(v any) error {
+	enc, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	j.mu.Lock()
+	j.body, j.ctype = enc, "application/json"
+	j.mu.Unlock()
+	return nil
+}
+
+// writeRunReport renders a run cell's canonical report — one call site
+// for execRun and the trace cross-check so they cannot drift apart.
+func writeRunReport(w io.Writer, cell *runCell, st *stats.Stats) {
+	harness.WriteRunReport(w, cell.wl.Name, cell.params.Nodes, cell.params.Scale, st)
+}
+
+// jobLog adapts a job's progress counter into the campaign's io.Writer
+// logger: each log write bumps the obs-event counter so SSE watchers see
+// a heartbeat (the campaign's engines are private; their event totals
+// arrive with the final summary).
+type jobLog struct{ j *Job }
+
+func (l jobLog) Write(p []byte) (int, error) {
+	l.j.obsEvents.Add(1)
+	return len(p), nil
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// maxBody bounds a submission body; specs are a few hundred bytes.
+const maxBody = 1 << 20
+
+func readBody(r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	return io.ReadAll(io.LimitReader(r.Body, maxBody))
+}
+
+// progressTick is how often the event stream re-samples a running job.
+// Progress counters are written lock-free by the simulation's obs tap;
+// the stream just snapshots them.
+const progressTick = 250 * time.Millisecond
+
+// handleEvents streams a job's lifecycle as Server-Sent Events: a
+// `progress` event whenever the snapshot changes (state transitions, the
+// obs-event counter advancing, the simulation clock moving) and one
+// final `done` event when the job reaches a terminal state, after which
+// the stream closes. A client that disconnects mid-stream just detaches;
+// the job keeps running (other claimants may be waiting on its cell).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r)
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, st Status) {
+		payload, _ := json.Marshal(st)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, payload)
+		fl.Flush()
+	}
+
+	last := j.status()
+	emit("progress", last)
+	ticker := time.NewTicker(progressTick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return // client went away; the job does not care
+		case <-j.done:
+			emit("done", j.status())
+			return
+		case <-ticker.C:
+			if cur := j.status(); cur != last {
+				last = cur
+				emit("progress", cur)
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 
 	"pccsim/internal/msg"
 )
@@ -104,6 +105,11 @@ type Engine struct {
 	// shard the instant it completes a machine-wide barrier, before it can
 	// outrun the release it just scheduled.
 	cut bool
+
+	// intr, when armed via SetInterrupt, lets another goroutine ask a
+	// guarded run to stop between events (see RunGuarded). nil keeps the
+	// historical zero-overhead drain loop.
+	intr *atomic.Bool
 }
 
 // NewEngine returns an engine with the clock at cycle 0.
@@ -373,20 +379,41 @@ func (e *RunawayError) Error() string {
 	return s
 }
 
+// ErrInterrupted reports that a guarded run stopped because its interrupt
+// flag was raised (see Engine.SetInterrupt, Group.SetInterrupt) — the
+// cooperative-cancellation signal a job server uses to abandon a
+// simulation mid-run. An interrupted run leaves the engine consistent
+// (events past the stop stay queued) but its results are incomplete and
+// must be discarded.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
+// SetInterrupt arms the engine with a cancellation flag shared with other
+// goroutines: a guarded run polls it between events (every 1024 events,
+// so the per-event cost is one branch) and stops with ErrInterrupted when
+// it is set. nil (the default) disarms the check entirely. The flag never
+// perturbs event order — a run that finishes without the flag set is
+// bit-for-bit identical to an unarmed one.
+func (e *Engine) SetInterrupt(flag *atomic.Bool) { e.intr = flag }
+
 // RunGuarded executes events until the queue drains, like Run, but aborts
 // with a *RunawayError after maxSteps events (counted from this call) if
 // the queue still holds work. maxSteps == 0 means unlimited and never
 // fails. The guard does not perturb event order, so a run that finishes
-// under budget is bit-for-bit identical to an unguarded one.
+// under budget is bit-for-bit identical to an unguarded one. An armed
+// interrupt flag (SetInterrupt) additionally stops the run with
+// ErrInterrupted.
 func (e *Engine) RunGuarded(maxSteps uint64) (Time, error) {
-	if maxSteps == 0 {
+	if maxSteps == 0 && e.intr == nil {
 		return e.Run(), nil
 	}
 	for executed := uint64(0); ; executed++ {
 		if e.Pending() == 0 {
 			return e.now, nil
 		}
-		if executed >= maxSteps {
+		if e.intr != nil && executed&1023 == 0 && e.intr.Load() {
+			return e.now, ErrInterrupted
+		}
+		if maxSteps > 0 && executed >= maxSteps {
 			return e.now, &RunawayError{
 				Steps:      executed,
 				TotalSteps: e.nSteps,

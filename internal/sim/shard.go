@@ -35,6 +35,7 @@ package sim
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pccsim/internal/msg"
 )
@@ -63,6 +64,10 @@ type Group struct {
 	// Parallel-run machinery, alive only inside RunGuarded.
 	cmds    []chan windowJob
 	results chan windowResult
+
+	// intr, when armed via SetInterrupt, is polled at every window
+	// barrier; see Engine.SetInterrupt for the contract.
+	intr *atomic.Bool
 }
 
 type windowJob struct {
@@ -146,6 +151,12 @@ func (g *Group) SetAdaptive(maxAllowance Time) {
 	g.maxAllow = maxAllowance
 	g.allow = g.look
 }
+
+// SetInterrupt arms the group with a cancellation flag shared with other
+// goroutines: RunGuarded polls it at every window barrier and stops with
+// ErrInterrupted when it is set. nil (the default) disarms the check. The
+// flag never perturbs event order within or across windows.
+func (g *Group) SetInterrupt(flag *atomic.Bool) { g.intr = flag }
 
 // Windows reports how many conservative windows have been dispatched.
 // With adaptive windows enabled this is the direct measure of barrier
@@ -296,6 +307,9 @@ func (g *Group) RunGuarded(maxSteps uint64) (Time, error) {
 		next, ok := g.NextAt()
 		if !ok {
 			return g.Now(), nil
+		}
+		if g.intr != nil && g.intr.Load() {
+			return g.Now(), ErrInterrupted
 		}
 		if maxSteps > 0 && executed >= maxSteps {
 			return g.Now(), g.runawayError(executed, next)
