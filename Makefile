@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test smoke soak bench bench-smoke fuzz-smoke fuzz clean
+.PHONY: check vet build test smoke soak bench bench-smoke check-mcheck fuzz-smoke fuzz clean
 
 check: vet build test smoke
 
@@ -35,6 +35,7 @@ bench:
 		./internal/obs/... .
 	$(GO) run ./cmd/pccperf -o BENCH_pr2.json
 	$(GO) run ./cmd/pccperf -shards-sweep -shards-o BENCH_pr8.json
+	$(GO) run ./cmd/pccperf -mcheck-sweep -mcheck-o BENCH_pr9.json
 
 # One-iteration bench smoke for CI: compiles and runs every benchmark
 # once, then gates the engine and suite numbers against the committed
@@ -47,6 +48,15 @@ bench-smoke:
 		./internal/addrtab/... ./internal/obs/...
 	$(GO) run ./cmd/pccperf -check BENCH_pr2.json
 	$(GO) run ./cmd/pccperf -check-shards BENCH_pr8.json
+	$(GO) run ./cmd/pccperf -check-mcheck BENCH_pr9.json
+
+# The model-checker gate: worker-count invariance and litmus equivalence
+# under the race detector, the corpus counterexamples replayed, and the
+# exploration-throughput baseline checked. CI runs this plus a bounded
+# deep-configuration exploration as its own job.
+check-mcheck:
+	$(GO) test -race -count=1 ./internal/mcheck/... ./internal/fault/...
+	$(GO) run ./cmd/pccperf -check-mcheck BENCH_pr9.json
 
 # Seeded fuzzing under fault injection. fuzz-smoke is the quick PR gate;
 # fuzz is the long campaign the nightly workflow runs.

@@ -33,6 +33,9 @@ func main() {
 	shardsSweep := fs.Bool("shards-sweep", false, "run the sharded-engine scaling sweep instead of the engine/suite benchmarks")
 	shardsOut := fs.String("shards-o", "BENCH_pr8.json", "with -shards-sweep: output file (- for stdout)")
 	checkShardsFile := fs.String("check-shards", "", "gate mode: run a reduced shard sweep against this baseline file")
+	mcheckSweep := fs.Bool("mcheck-sweep", false, "run the model-checker exploration-throughput sweep instead of the engine/suite benchmarks")
+	mcheckOut := fs.String("mcheck-o", "BENCH_pr9.json", "with -mcheck-sweep: output file (- for stdout)")
+	checkMCheckFile := fs.String("check-mcheck", "", "gate mode: run a reduced mcheck sweep against this baseline file")
 	if err := cli.Parse(fs, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "pccperf:", err)
 		os.Exit(2)
@@ -48,6 +51,20 @@ func main() {
 	}
 	if *checkShardsFile != "" {
 		if !perf.CheckShards(*checkShardsFile, *tolerance, os.Stderr) {
+			os.Exit(1)
+		}
+		return
+	}
+	if *mcheckSweep {
+		rep, err := perf.RunMCheckBench(perf.MCheckWorkerCounts(), os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccperf:", err)
+			os.Exit(1)
+		}
+		os.Exit(emit(*mcheckOut, rep))
+	}
+	if *checkMCheckFile != "" {
+		if !perf.CheckMCheck(*checkMCheckFile, *tolerance, os.Stderr) {
 			os.Exit(1)
 		}
 		return

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +31,7 @@ func submitMain(args []string) int {
 	spec := fs.String("spec", "", "job spec JSON file (- = stdin)")
 	inline := fs.String("json", "", "job spec JSON given inline (alternative to -spec)")
 	wait := fs.Bool("wait", true, "poll until the job is terminal and fetch its result")
+	follow := fs.Bool("follow", false, "wait via the server's live event stream (SSE) instead of polling")
 	poll := fs.Duration("poll", 500*time.Millisecond, "status poll interval while waiting")
 	timeout := fs.Duration("timeout", 0, "overall wait budget (0 = no limit)")
 	out := fs.String("o", "-", "result destination (- = stdout)")
@@ -72,12 +75,16 @@ func submitMain(args []string) int {
 		return 2
 	}
 	fmt.Fprintf(os.Stderr, "pccsim submit: job %s (%s) accepted\n", st.ID, st.Kind)
-	if !*wait {
+	if !*wait && !*follow {
 		fmt.Println(st.ID)
 		return 0
 	}
 
-	st, err = waitTerminal(base, st.ID, *poll, *timeout, *progress)
+	if *follow {
+		st, err = followTerminal(base, st.ID, *timeout, *progress)
+	} else {
+		st, err = waitTerminal(base, st.ID, *poll, *timeout, *progress)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pccsim submit:", err)
 		return 2
@@ -165,6 +172,72 @@ func waitTerminal(base, id string, poll, timeout time.Duration, progress bool) (
 		}
 		time.Sleep(poll)
 	}
+}
+
+// followTerminal consumes the server's SSE stream (GET /v1/jobs/{id}/events)
+// instead of polling: the server pushes a `progress` event on every status
+// change and one final `done` event when the job is terminal, so a single
+// long-lived request replaces poll-interval-bounded latency and the
+// per-poll request overhead. The stream closing before a `done` event is
+// an error unless the last status seen was already terminal.
+func followTerminal(base, id string, timeout time.Duration, progress bool) (jobStatus, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(resp.Body)
+		return jobStatus{}, fmt.Errorf("event stream: %s: %s", resp.Status, strings.TrimSpace(string(payload)))
+	}
+
+	var last jobStatus
+	event, data := "", ""
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		case line == "" && data != "": // blank line = dispatch
+			var st jobStatus
+			if err := json.Unmarshal([]byte(data), &st); err != nil {
+				return last, fmt.Errorf("bad event payload: %v", err)
+			}
+			if progress && st != last {
+				fmt.Fprintf(os.Stderr, "pccsim submit: job %s %s (events=%d simtime=%d)\n", st.ID, st.State, st.ObsEvents, st.SimTime)
+			}
+			last = st
+			if event == "done" {
+				return st, nil
+			}
+			event, data = "", ""
+		}
+	}
+	if ctx.Err() != nil {
+		return last, fmt.Errorf("job %s still %s after %s", id, last.State, timeout)
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	if terminal(last.State) {
+		return last, nil
+	}
+	return last, fmt.Errorf("event stream for job %s closed while %s", id, last.State)
 }
 
 func fetchResult(base, id string) ([]byte, string, error) {

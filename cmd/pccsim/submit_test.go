@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pccsim/internal/serve"
+)
+
+// TestFollowTerminal runs `submit -follow`'s SSE consumer against a live
+// in-process server: a real serve.Server behind httptest, streaming real
+// progress/done events over HTTP. The stream must deliver the terminal
+// status without any client-side polling.
+func TestFollowTerminal(t *testing.T) {
+	s := serve.New(serve.Config{Log: log.New(io.Discard, "", 0)})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(spec string) jobStatus {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %s: %s", resp.Status, payload)
+		}
+		var st jobStatus
+		if err := json.Unmarshal(payload, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	t.Run("done", func(t *testing.T) {
+		st := post(`{"workload":"em3d","nodes":8,"scale":1,"iters":2}`)
+		got, err := followTerminal(ts.URL, st.ID, 30*time.Second, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State != "done" {
+			t.Fatalf("followed job ended %q, want done: %+v", got.State, got)
+		}
+		if got.ID != st.ID {
+			t.Fatalf("stream reported job %s, submitted %s", got.ID, st.ID)
+		}
+	})
+
+	t.Run("cancelled", func(t *testing.T) {
+		// A duplicate of a slow spec queued behind itself would be flaky;
+		// instead cancel a fresh slow job and follow it — the stream's
+		// done event must carry the cancelled state.
+		st := post(`{"workload":"em3d","nodes":8,"scale":8,"iters":64}`)
+		req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+st.ID, nil)
+		if _, err := http.DefaultClient.Do(req); err != nil {
+			t.Fatal(err)
+		}
+		got, err := followTerminal(ts.URL, st.ID, 30*time.Second, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State != "cancelled" && got.State != "done" {
+			t.Fatalf("cancelled job streamed terminal state %q", got.State)
+		}
+	})
+
+	t.Run("unknown job", func(t *testing.T) {
+		if _, err := followTerminal(ts.URL, "no-such-job", time.Second, false); err == nil {
+			t.Fatal("following a nonexistent job did not error")
+		}
+	})
+}

@@ -2,41 +2,51 @@
 // explicit-state reachability over an abstract model of the protocol (the
 // Murphi role), checking the DASH-style invariants — single writer,
 // directory consistency — plus data-value coherence and deadlock freedom;
-// and a suite of litmus tests for per-location ordering.
+// and a suite of litmus tests for per-location ordering. Exploration runs
+// on the parallel work-stealing engine with canonical state hashing;
+// verdicts and state counts are identical at any -workers value.
 //
 //	pccverify                  # litmus suite + base-protocol reachability
-//	pccverify -full            # also the delegation+updates reachability (slow, GBs of RAM)
+//	pccverify -deep            # the ROADMAP target: 4 nodes × 2 lines, delegation + updates
+//	pccverify -full            # delegation+updates at the flag-specified bounds (slow)
 //	pccverify -writes 3        # deeper value bound
+//	pccverify -workers 4       # exploration worker count (0 = GOMAXPROCS)
+//	pccverify -nodes 3 -queue 1 -det 1   # custom config (skips the standard suite)
+//	pccverify ... -repro-dir D # emit counterexamples as replayable JSON into D
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
+	"pccsim/internal/fault"
 	"pccsim/internal/mcheck"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run the full delegation+updates reachability (large)")
+	deep := flag.Bool("deep", false, "run the 4-node x 2-line deep configuration")
+	deepOnly := flag.Bool("deep-only", false, "run only the deep configuration (skip litmus + base reachability)")
 	writes := flag.Int("writes", 2, "bound on writes (data versions)")
 	issues := flag.Int("issues", 3, "bound on per-node request issues")
+	workers := flag.Int("workers", 0, "exploration workers (0 = GOMAXPROCS)")
+	maxStates := flag.Int("max-states", 0, "state-budget safety net (0 = unbounded; exceeding it fails)")
+	serial := flag.Bool("serial", false, "use the serial map-based reference checker")
+	nocanon := flag.Bool("nocanon", false, "disable symmetry reduction")
+	nodes := flag.Int("nodes", 0, "custom config: node count (enables custom mode)")
+	lines := flag.Int("lines", 0, "custom config: cache lines")
+	queue := flag.Int("queue", 0, "custom config: per-channel queue depth")
+	det := flag.Int("det", 0, "custom config: detector threshold")
+	tot := flag.Int("tot", 0, "custom config: global issue budget (0 = unbounded)")
+	reproDir := flag.String("repro-dir", "", "write counterexamples as replayable JSON into this directory")
 	progress := flag.Bool("v", false, "print exploration progress")
 	flag.Parse()
 
 	failed := false
-
-	fmt.Println("== litmus tests (all interleavings, coherence ordering) ==")
-	for _, f := range mcheck.StandardLitmusTests() {
-		res := f()
-		status := "ok"
-		if res.Err != nil {
-			status = "FAIL: " + res.Err.Error()
-			failed = true
-		}
-		fmt.Printf("  %-28s %8d states %5d outcomes  %s\n", res.Name, res.States, res.Outcomes, status)
-	}
 
 	if *progress {
 		mcheck.Progress = func(states, frontier, visited int) {
@@ -44,15 +54,30 @@ func main() {
 		}
 	}
 
+	opt := mcheck.Options{Workers: *workers, NoCanon: *nocanon, MaxStates: *maxStates}
+
 	run := func(label string, cfg mcheck.Config) {
 		t0 := time.Now()
-		res := mcheck.Explore(cfg, 0)
+		var res *mcheck.Result
+		if *serial {
+			res = mcheck.ExploreSerial(cfg, *maxStates)
+		} else {
+			res = mcheck.ExploreOpts(cfg, opt)
+		}
+		el := time.Since(t0)
 		status := "ok"
 		if !res.Ok() {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("  %-28s %s in %v  %s\n", label, res, time.Since(t0).Round(time.Millisecond), status)
+		rate := float64(res.States) / el.Seconds()
+		dedup := 0.0
+		if res.Transitions > 0 {
+			dedup = float64(res.DedupHits) / float64(res.Transitions)
+		}
+		fmt.Printf("  %-28s %s in %v  %s\n", label, res, el.Round(time.Millisecond), status)
+		fmt.Printf("    workers=%d states/s=%.0f dedup=%.3f peak-frontier=%d\n",
+			res.Workers, rate, dedup, res.PeakFrontier)
 		for i, v := range res.Violations {
 			if i >= 3 {
 				break
@@ -65,6 +90,59 @@ func main() {
 			}
 			fmt.Printf("    deadlock: %s\n", d.State)
 		}
+		if *reproDir != "" && !res.Ok() {
+			emitRepros(cfg, res, *reproDir)
+		}
+	}
+
+	// Custom mode: explore exactly the flag-specified configuration.
+	if *nodes > 0 || *lines > 0 || *queue > 0 || *det > 0 || *tot > 0 {
+		cfg := mcheck.DefaultConfig()
+		cfg.MaxWrites = *writes
+		cfg.MaxIssues = int8(*issues)
+		if *nodes > 0 {
+			cfg.Nodes = *nodes
+		}
+		if *lines > 0 {
+			cfg.Lines = *lines
+		}
+		if *queue > 0 {
+			cfg.QueueDepth = *queue
+		}
+		if *det > 0 {
+			cfg.DetThresh = int8(*det)
+		}
+		if *tot > 0 {
+			cfg.MaxTotalIssues = int8(*tot)
+		}
+		fmt.Println("== custom reachability ==")
+		run(fmt.Sprintf("%dn x %dl w=%d q=%d det=%d tot=%d", cfg.Nodes, cfg.Lines, cfg.MaxWrites, cfg.QueueDepth, cfg.DetThresh, cfg.MaxTotalIssues), cfg)
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("all checks passed")
+		return
+	}
+
+	if *deepOnly {
+		fmt.Println("== deep reachability ==")
+		run("deep: 4n x 2 lines", mcheck.DeepConfig())
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("all checks passed")
+		return
+	}
+
+	fmt.Println("== litmus tests (all interleavings, coherence ordering) ==")
+	for _, f := range mcheck.StandardLitmusTests() {
+		res := f()
+		status := "ok"
+		if res.Err != nil {
+			status = "FAIL: " + res.Err.Error()
+			failed = true
+		}
+		fmt.Printf("  %-28s %8d states %5d outcomes  %s\n", res.Name, res.States, res.Outcomes, status)
 	}
 
 	fmt.Println("== exhaustive reachability ==")
@@ -86,11 +164,69 @@ func main() {
 		del.MaxWrites = 2
 		del.MaxIssues = 2
 		run("delegation + updates (w=2,i=2)", del)
-		fmt.Println("  (use -full for the flag-specified bounds; needs GBs of RAM and hours)")
+	}
+
+	if *deep {
+		run("deep: 4n x 2 lines", mcheck.DeepConfig())
+	} else if !*full {
+		fmt.Println("  (use -deep for the 4-node x 2-line target, -full for the flag-specified bounds)")
 	}
 
 	if failed {
 		os.Exit(1)
 	}
 	fmt.Println("all checks passed")
+}
+
+// emitRepros writes the result's counterexamples (already deterministically
+// selected: lowest canonical state wins) as replayable corpus JSON.
+func emitRepros(cfg mcheck.Config, res *mcheck.Result, dir string) {
+	emit := func(kind string, v *mcheck.Violation, idx int) {
+		trace := mcheck.TraceTo(cfg, v.State)
+		if trace == nil && idx >= 0 {
+			fmt.Printf("    repro: no trace reconstructed for %s #%d\n", kind, idx)
+			return
+		}
+		c := fault.MCheckCase{
+			Note: fmt.Sprintf("checker-emitted: %s under %dn x %dl (w=%d q=%d det=%d iss=%d tot=%d)",
+				v.Invariant, cfg.Nodes, cfg.Lines, cfg.MaxWrites, cfg.QueueDepth, cfg.DetThresh, cfg.MaxIssues, cfg.MaxTotalIssues),
+			Nodes: cfg.Nodes, Lines: cfg.Lines, MaxWrites: cfg.MaxWrites,
+			QueueDepth: cfg.QueueDepth, Delegation: cfg.Delegation,
+			DetThresh: cfg.DetThresh, MaxIssues: cfg.MaxIssues,
+			MaxTotalIssues: cfg.MaxTotalIssues,
+			Invariant:      v.Invariant, Trace: trace,
+		}
+		cat := v.Invariant
+		if i := strings.IndexAny(cat, " ("); i > 0 {
+			cat = cat[:i]
+		}
+		cat = strings.ReplaceAll(cat, ":", "-")
+		nl := cfg.Lines
+		if nl <= 0 {
+			nl = 1
+		}
+		name := fmt.Sprintf("%s-%dn%dl-q%d-%d.json", cat, cfg.Nodes, nl, cfg.QueueDepth, idx)
+		path := filepath.Join(dir, name)
+		if err := fault.WriteMCheckCase(path, c); err != nil {
+			fmt.Fprintf(os.Stderr, "    repro: %v\n", err)
+			return
+		}
+		if err := fault.ReplayMCheckCase(c); err != nil {
+			fmt.Fprintf(os.Stderr, "    repro %s does NOT replay: %v\n", name, err)
+			return
+		}
+		fmt.Printf("    repro written and replay-verified: %s (%d steps)\n", path, len(trace))
+	}
+	for i, v := range res.Violations {
+		if i >= 2 {
+			break
+		}
+		emit("violation", v, i)
+	}
+	for i, d := range res.Deadlocks {
+		if i >= 2 {
+			break
+		}
+		emit("deadlock", d, i)
+	}
 }

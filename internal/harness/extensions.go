@@ -61,7 +61,7 @@ func (s *Session) Extensions() ([]ExtRow, error) {
 			s.job("extensions/"+wl.Name+"/adaptive", adaptive, wl),
 			s.job("extensions/"+wl.Name+"/pair", pair, wl))
 	}
-	res, err := s.r.Run(jobs)
+	res, err := s.run(jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +121,7 @@ func (s *Session) RelatedWork() ([]RelatedRow, error) {
 			s.job("related/"+wl.Name+"/deleg-only", mech(base, 32*1024, 32, false), wl),
 			s.job("related/"+wl.Name+"/deleg-upd", mech(base, 32*1024, 32, true), wl))
 	}
-	res, err := s.r.Run(jobs)
+	res, err := s.run(jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pccsim/internal/core"
@@ -74,6 +75,7 @@ func (o Options) params() workload.Params {
 type Session struct {
 	Opts Options
 	r    *runner.Runner
+	ctx  context.Context // nil = Background; set by WithContext
 }
 
 // NewSession creates a session with a worker pool sized by opts.Parallel.
@@ -89,6 +91,25 @@ func NewSession(opts Options) *Session {
 // the runner's own pool size and hook apply.
 func NewSessionOn(r *runner.Runner, opts Options) *Session {
 	return &Session{Opts: opts, r: r}
+}
+
+// WithContext returns a session whose experiment batches run under ctx:
+// cancelling it interrupts the cells currently simulating and skips the
+// rest of the batch (runner.RunCtx semantics). The receiver is unchanged,
+// so one shared-runner session can hand differently-scoped views to
+// concurrent callers.
+func (s *Session) WithContext(ctx context.Context) *Session {
+	c := *s
+	c.ctx = ctx
+	return &c
+}
+
+// run executes one experiment batch under the session's context.
+func (s *Session) run(jobs []runner.Job) ([]*stats.Stats, error) {
+	if s.ctx != nil {
+		return s.r.RunCtx(s.ctx, jobs)
+	}
+	return s.r.Run(jobs)
 }
 
 // Cells reports how many unique simulation cells this session has run.
@@ -208,7 +229,7 @@ func (s *Session) Fig7() ([]Row, error) {
 			jobs = append(jobs, s.job("fig7/"+wl.Name+"/"+spec.Label, spec.Apply(base), wl))
 		}
 	}
-	res, err := s.r.Run(jobs)
+	res, err := s.run(jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +322,7 @@ func (s *Session) Table3() (map[string][5]float64, error) {
 	for i, wl := range apps {
 		jobs[i] = s.job("table3/"+wl.Name, cfg, wl)
 	}
-	res, err := s.r.Run(jobs)
+	res, err := s.run(jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -350,7 +371,7 @@ func (s *Session) Fig8() ([]Fig8Row, error) {
 			s.job("fig8/"+wl.Name+"/smarter", mech(mk(), 32*1024, 32, true), wl),
 			s.job("fig8/"+wl.Name+"/larger", big, wl))
 	}
-	res, err := s.r.Run(jobs)
+	res, err := s.run(jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -413,7 +434,7 @@ func (s *Session) Fig9() ([]Fig9Row, error) {
 			jobs = append(jobs, s.job("fig9/"+wl.Name+"/"+delayLabel(d), cfg, wl))
 		}
 	}
-	res, err := s.r.Run(jobs)
+	res, err := s.run(jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -461,7 +482,7 @@ func (s *Session) Fig10() ([]Fig10Row, error) {
 			s.job(fmt.Sprintf("fig10/%dns/base", ns), base, wl),
 			s.job(fmt.Sprintf("fig10/%dns/mech", ns), mcfg, wl))
 	}
-	res, err := s.r.Run(jobs)
+	res, err := s.run(jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -507,7 +528,7 @@ func (s *Session) sweep(figure, app string, pts []sweepPoint) ([]SweepRow, error
 		jobs = append(jobs, s.job(figure+"/"+app+"/"+p.label,
 			mech(base, p.rac, p.entries, true), wl))
 	}
-	res, err := s.r.Run(jobs)
+	res, err := s.run(jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -587,7 +608,7 @@ func (s *Session) Ablation() ([]AblationRow, error) {
 			s.job("ablation/"+wl.Name+"/deleg-only", mech(base, 32*1024, 32, false), wl),
 			s.job("ablation/"+wl.Name+"/deleg-upd", mech(base, 32*1024, 32, true), wl))
 	}
-	res, err := s.r.Run(jobs)
+	res, err := s.run(jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -287,5 +289,28 @@ func TestRelatedWorkContrast(t *testing.T) {
 	PrintRelated(&buf, rows)
 	if buf.Len() == 0 {
 		t.Fatal("empty related output")
+	}
+}
+
+// TestSessionWithContext pins the cancel plumbing the serve layer relies
+// on: a session batch under a cancelled context fails with the context
+// error instead of simulating, and the underlying session is untouched —
+// a live-context retry on the same session runs normally.
+func TestSessionWithContext(t *testing.T) {
+	s := NewSession(tiny())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.WithContext(ctx).Fig10(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled session batch returned %v, want context.Canceled", err)
+	}
+	if got := s.Cells(); got != 0 {
+		t.Fatalf("cancelled batch simulated %d cells, want 0", got)
+	}
+	rows, err := s.WithContext(context.Background()).Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || s.Cells() == 0 {
+		t.Fatal("live-context retry on the same session did not simulate")
 	}
 }

@@ -1,0 +1,363 @@
+package mcheck
+
+// Canonical state encoding: a compact, hash-friendly byte serialization of
+// the full model state — per-line node records, per-line directory, issue
+// budgets, channel contents, litmus bookkeeping — that round-trips through
+// Decode, so the exploration frontier can hold encoded bytes instead of
+// live *State values (about 4× smaller and allocation-flat).
+//
+// Symmetry reduction happens at the encoding layer: every node except the
+// home (node 0) behaves identically in the generic model, and all lines
+// are identically configured and homed at node 0, so the symmetry group is
+// Sym(nodes 1..N-1) × Sym(lines). A state's canonical form is the
+// lexicographically smallest encoding over that group, computed by
+// encoding under each permutation directly — ids, masks and channel
+// indices are renamed on the fly, no permuted State is ever materialized.
+// The group is tiny at model-checking scale (6 node perms × 2 line perms
+// for the 4-node × 2-line deep configuration), and states in delegated
+// configurations — where one node is distinguished as producer — reject
+// most non-identity permutations within the first few bytes of the
+// comparison.
+
+// boolByte packs booleans into flag bits.
+func boolByte(v bool, shift uint) byte {
+	if v {
+		return 1 << shift
+	}
+	return 0
+}
+
+// Encode appends the state's identity-permutation encoding to buf and
+// returns the extended slice. The encoding is complete: Decode inverts it.
+func (s *State) Encode(buf []byte) []byte {
+	return encodePerm(buf, s, identityPerm(s.nodes()), identityPerm(len(s.H)))
+}
+
+// identityPerms caches small identity permutations.
+var identityPerms = [9][]int{
+	{}, {0}, {0, 1}, {0, 1, 2}, {0, 1, 2, 3}, {0, 1, 2, 3, 4},
+	{0, 1, 2, 3, 4, 5}, {0, 1, 2, 3, 4, 5, 6}, {0, 1, 2, 3, 4, 5, 6, 7},
+}
+
+func identityPerm(n int) []int {
+	if n < len(identityPerms) {
+		return identityPerms[n]
+	}
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// encodePerm appends the encoding of s under a node permutation p and line
+// permutation lp (both old-index → new-index; p[0] must be 0) to buf. The
+// encoding walks the state in *new* index order so that two states in the
+// same orbit produce byte-identical output under the right permutations.
+func encodePerm(buf []byte, s *State, p, lp []int) []byte {
+	n := s.nodes()
+	ren := func(id int8) int8 {
+		if id < 0 {
+			return id
+		}
+		return int8(p[id])
+	}
+	renMask := func(m uint8) uint8 {
+		if m == 0 {
+			return 0
+		}
+		var out uint8
+		for i := 0; i < n; i++ {
+			if m&bit(int8(i)) != 0 {
+				out |= bit(int8(p[i]))
+			}
+		}
+		return out
+	}
+
+	for nl := range s.H {
+		ol := nl
+		if len(lp) > 1 {
+			ol = lineIndexUnder(lp, nl)
+		}
+		for nj := 0; nj < n; nj++ {
+			nd := s.node(ol, nodeIndexUnder(p, nj))
+			buf = append(buf,
+				byte(nd.Cache), byte(nd.Val), byte(nd.Mshr), byte(nd.Acks), byte(nd.MVal),
+				boolByte(nd.MHave, 0)|boolByte(nd.Inv, 1)|boolByte(nd.Hint, 2)|
+					boolByte(nd.RACOk, 3)|boolByte(nd.HasProd, 4)|boolByte(nd.PArmed, 5),
+				byte(ren(nd.HintProd)), byte(nd.RACVal), byte(nd.Txn), byte(nd.GEp),
+				byte(nd.PDir), renMask(nd.PShr), renMask(nd.PUpdSet), byte(nd.PInFlt))
+		}
+		h := &s.H[ol]
+		buf = append(buf, byte(h.Dir), renMask(h.Shr), byte(ren(h.Owner)), byte(ren(h.Pend)),
+			boolByte(h.PendX, 0)|boolByte(h.DetRd, 1), byte(h.PendFwd), byte(h.MemVal),
+			byte(h.OwnTxn), byte(h.PendTxn), byte(ren(h.DetW)), byte(h.DetRep))
+		buf = append(buf, byte(s.Latest[ol]))
+	}
+	for nj := 0; nj < n; nj++ {
+		buf = append(buf, byte(s.Iss[nodeIndexUnder(p, nj)]))
+	}
+	buf = append(buf, byte(s.Writes))
+	for nsrc := 0; nsrc < n; nsrc++ {
+		osrc := nodeIndexUnder(p, nsrc)
+		for ndst := 0; ndst < n; ndst++ {
+			q := s.Ch[osrc*n+nodeIndexUnder(p, ndst)]
+			buf = append(buf, byte(len(q)))
+			for _, m := range q {
+				val := m.Val
+				if m.Type == MHint {
+					val = ren(val) // Hint reuses Val as a node id
+				}
+				line := int8(m.Line)
+				if len(lp) > 1 {
+					line = int8(lp[m.Line])
+				}
+				buf = append(buf, byte(m.Type), byte(line), byte(ren(m.Req)), byte(val),
+					byte(m.Acks), renMask(m.Shr), byte(m.Fwd), byte(m.RTxn), byte(m.GEp))
+			}
+		}
+	}
+	if s.PC != nil {
+		for i := range s.PC {
+			buf = append(buf, byte(s.PC[i]), byte(len(s.Obs[i])))
+			for _, o := range s.Obs[i] {
+				buf = append(buf, byte(o))
+			}
+		}
+	}
+	return buf
+}
+
+// nodeIndexUnder returns the old index that permutation p maps to new
+// index nj. Permutations are tiny, so a linear scan beats keeping inverse
+// arrays alongside every permutation.
+func nodeIndexUnder(p []int, nj int) int {
+	for oi, v := range p {
+		if v == nj {
+			return oi
+		}
+	}
+	panic("mcheck: not a permutation")
+}
+
+func lineIndexUnder(lp []int, nl int) int { return nodeIndexUnder(lp, nl) }
+
+// DecodeState reconstructs a State from its identity encoding. cfg must be
+// the configuration the state was encoded under (it sizes every array and
+// selects litmus mode).
+func DecodeState(cfg Config, data []byte) *State {
+	n, lines := cfg.Nodes, cfg.lines()
+	s := &State{
+		N:      make([]Node, lines*n),
+		H:      make([]Home, lines),
+		Iss:    make([]int8, n),
+		Ch:     make([][]Msg, n*n),
+		Latest: make([]int8, lines),
+	}
+	k := 0
+	next := func() byte { b := data[k]; k++; return b }
+	for l := 0; l < lines; l++ {
+		for i := 0; i < n; i++ {
+			nd := s.node(l, i)
+			nd.Cache = CacheState(next())
+			nd.Val = int8(next())
+			nd.Mshr = MshrState(next())
+			nd.Acks = int8(next())
+			nd.MVal = int8(next())
+			fl := next()
+			nd.MHave = fl&1 != 0
+			nd.Inv = fl&2 != 0
+			nd.Hint = fl&4 != 0
+			nd.RACOk = fl&8 != 0
+			nd.HasProd = fl&16 != 0
+			nd.PArmed = fl&32 != 0
+			nd.HintProd = int8(next())
+			nd.RACVal = int8(next())
+			nd.Txn = int8(next())
+			nd.GEp = int8(next())
+			nd.PDir = DirState(next())
+			nd.PShr = next()
+			nd.PUpdSet = next()
+			nd.PInFlt = int8(next())
+		}
+		h := &s.H[l]
+		h.Dir = DirState(next())
+		h.Shr = next()
+		h.Owner = int8(next())
+		h.Pend = int8(next())
+		fl := next()
+		h.PendX = fl&1 != 0
+		h.DetRd = fl&2 != 0
+		h.PendFwd = MsgType(next())
+		h.MemVal = int8(next())
+		h.OwnTxn = int8(next())
+		h.PendTxn = int8(next())
+		h.DetW = int8(next())
+		h.DetRep = int8(next())
+		s.Latest[l] = int8(next())
+	}
+	for i := 0; i < n; i++ {
+		s.Iss[i] = int8(next())
+	}
+	s.Writes = int8(next())
+	for ci := 0; ci < n*n; ci++ {
+		qlen := int(next())
+		if qlen == 0 {
+			continue
+		}
+		q := make([]Msg, qlen)
+		for mi := range q {
+			m := &q[mi]
+			m.Type = MsgType(next())
+			m.Line = int8(next())
+			m.Req = int8(next())
+			m.Val = int8(next())
+			m.Acks = int8(next())
+			m.Shr = next()
+			m.Fwd = MsgType(next())
+			m.RTxn = int8(next())
+			m.GEp = int8(next())
+		}
+		s.Ch[ci] = q
+	}
+	if cfg.Scripts != nil {
+		s.PC = make([]int8, n)
+		s.Obs = make([][]int8, n)
+		for i := 0; i < n; i++ {
+			s.PC[i] = int8(next())
+			olen := int(next())
+			if olen > 0 {
+				o := make([]int8, olen)
+				for j := range o {
+					o[j] = int8(next())
+				}
+				s.Obs[i] = o
+			}
+		}
+	}
+	if k != len(data) {
+		panic("mcheck: trailing bytes in state encoding")
+	}
+	return s
+}
+
+// canonicalizer computes canonical encodings. One instance per worker; the
+// scratch buffers are reused across states so the hot path allocates only
+// when an encoding outgrows its buffer.
+type canonicalizer struct {
+	perms  [][]int // node permutations (p[0] = 0), identity first
+	lperms [][]int // line permutations, identity first
+	buf    []byte
+	best   []byte
+}
+
+// newCanonicalizer builds the permutation group for n nodes and `lines`
+// lines. Litmus mode (distinguished scripts) collapses the group to the
+// identity: canonical == plain encoding.
+func newCanonicalizer(n, lines int, litmus bool) *canonicalizer {
+	c := &canonicalizer{}
+	if litmus {
+		c.perms = [][]int{identityPerm(n)}
+		c.lperms = [][]int{identityPerm(lines)}
+		return c
+	}
+	c.perms = homeFixedPerms(n)
+	c.lperms = allPerms(lines)
+	return c
+}
+
+// homeFixedPerms enumerates permutations of 0..n-1 that fix 0, identity
+// first.
+func homeFixedPerms(n int) [][]int {
+	rest := allPerms(n - 1)
+	out := make([][]int, len(rest))
+	for i, r := range rest {
+		p := make([]int, n)
+		for j, v := range r {
+			p[j+1] = v + 1
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// allPerms enumerates permutations of 0..n-1, identity first.
+func allPerms(n int) [][]int {
+	if n <= 1 {
+		return [][]int{identityPerm(n)}
+	}
+	var out [][]int
+	p := identityPerm(n)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), p...))
+			return
+		}
+		for i := k; i < n; i++ {
+			p[k], p[i] = p[i], p[k]
+			rec(k + 1)
+			p[k], p[i] = p[i], p[k]
+		}
+	}
+	rec(0)
+	// The recursion yields identity first by construction (i == k on the
+	// first branch at every level).
+	return out
+}
+
+// canonical returns the lexicographically smallest encoding of s over the
+// symmetry group. The returned slice is owned by the canonicalizer and
+// valid until the next call.
+func (c *canonicalizer) canonical(s *State) []byte {
+	c.best = encodePerm(c.best[:0], s, c.perms[0], c.lperms[0])
+	if len(c.perms) == 1 && len(c.lperms) == 1 {
+		return c.best
+	}
+	for pi, p := range c.perms {
+		for li, lp := range c.lperms {
+			if pi == 0 && li == 0 {
+				continue
+			}
+			c.buf = encodePerm(c.buf[:0], s, p, lp)
+			if lexLess(c.buf, c.best) {
+				c.buf, c.best = c.best, c.buf
+			}
+		}
+	}
+	return c.best
+}
+
+// lexLess reports a < b. Encodings of one configuration always have equal
+// length, so the byte compare settles it.
+func lexLess(a, b []byte) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// fpOffset is the fingerprint of the all-zero hash, remapped so the
+// visited table can use 0 as its empty-slot sentinel.
+const fpOffset = 0x9E3779B97F4A7C15
+
+// fingerprint hashes an encoding to the 64-bit key the visited table
+// stores (FNV-1a). Two states colliding at 64 bits would be merged
+// silently — the standard hash-compaction trade — but the collision
+// probability at model-checking scale (~10^7 states) is below 10^-5, and
+// because the hash is deterministic, serial and parallel runs agree
+// exactly even in that event.
+func fingerprint(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	if h == 0 {
+		return fpOffset
+	}
+	return h
+}

@@ -29,10 +29,19 @@ type Result struct {
 	Deadlocks   []*Violation
 	// MaxQueue is the deepest channel occupancy observed.
 	MaxQueue int
-	// Delegated counts reachable states with the line delegated — a
+	// Delegated counts reachable states with a line delegated — a
 	// sanity signal that the exploration actually exercised the
 	// extension (bounds that are too tight never reach DELE).
 	Delegated int
+	// DedupHits counts successor states dropped because their (canonical)
+	// key was already in the visited set; PeakFrontier is the largest
+	// frontier observed. Together with wall time they make the
+	// `pccbench -mcheck` stats line.
+	DedupHits    int
+	PeakFrontier int
+	// Workers records how many exploration workers ran (1 for the serial
+	// reference checker).
+	Workers int
 }
 
 // Ok reports whether the analysis found no violations and no deadlocks.
@@ -43,14 +52,26 @@ func (r *Result) String() string {
 		r.States, r.Transitions, len(r.Violations), len(r.Deadlocks))
 }
 
-// Explore runs a breadth-first exhaustive reachability analysis from the
-// initial state, checking every invariant in every reachable state.
-// maxStates bounds the search as a safety net (0 = unbounded); exceeding
-// it panics, since a truncated verification proves nothing. To keep the
-// search memory-lean no traces are stored; a violation's counterexample
-// path can be reconstructed with TraceTo.
-func Explore(cfg Config, maxStates int) *Result {
-	res := &Result{}
+// delegatedAnywhere reports whether any line of s is in DELE at the home.
+func delegatedAnywhere(s *State) bool {
+	for l := range s.H {
+		if s.H[l].Dir == DD {
+			return true
+		}
+	}
+	return false
+}
+
+// ExploreSerial runs the reference breadth-first exhaustive reachability
+// analysis from the initial state: single-threaded, map-keyed visited set,
+// no symmetry reduction. It is the oracle the parallel engine is tested
+// against (Explore in parallel.go is the production path). maxStates
+// bounds the search as a safety net (0 = unbounded); exceeding it panics,
+// since a truncated verification proves nothing. To keep the search
+// memory-lean no traces are stored; a violation's counterexample path can
+// be reconstructed with TraceTo.
+func ExploreSerial(cfg Config, maxStates int) *Result {
+	res := &Result{Workers: 1}
 	init := NewState(cfg)
 	visited := map[string]struct{}{init.Key(): {}}
 	queue := []*State{init}
@@ -60,6 +81,9 @@ func Explore(cfg Config, maxStates int) *Result {
 		queue[0] = nil
 		queue = queue[1:]
 		res.States++
+		if len(queue) > res.PeakFrontier {
+			res.PeakFrontier = len(queue)
+		}
 		if Progress != nil && res.States%1_000_000 == 0 {
 			Progress(res.States, len(queue), len(visited))
 		}
@@ -79,7 +103,7 @@ func Explore(cfg Config, maxStates int) *Result {
 				res.MaxQueue = len(q)
 			}
 		}
-		if st.H.Dir == DD {
+		if delegatedAnywhere(st) {
 			res.Delegated++
 		}
 
@@ -94,6 +118,7 @@ func Explore(cfg Config, maxStates int) *Result {
 		for _, sc := range succs {
 			k := sc.State.Key()
 			if _, ok := visited[k]; ok {
+				res.DedupHits++
 				continue
 			}
 			visited[k] = struct{}{}
@@ -103,17 +128,24 @@ func Explore(cfg Config, maxStates int) *Result {
 	return res
 }
 
-// TraceTo reconstructs a rule path from the initial state to target (by
-// key), for counterexample reporting. It re-runs the BFS with parent
-// tracking, so use it only after Explore found a violation.
+// TraceTo reconstructs a rule path from the initial state to target, for
+// counterexample reporting. The goal test is modulo symmetry — the trace
+// may land on a symmetric twin of target, which the (symmetric) invariants
+// flag identically — but the search itself runs over concrete states, so
+// the returned labels replay from the initial state. It re-runs the BFS
+// with parent tracking, so use it only after exploration found a
+// violation. The result is deterministic: plain BFS over the concrete
+// state graph in rule order, independent of how many workers found the
+// violation.
 func TraceTo(cfg Config, target *State) []string {
 	type link struct {
 		parent string
 		rule   string
 	}
-	goal := target.Key()
+	canon := newCanonicalizer(target.nodes(), len(target.H), target.PC != nil)
+	goal := string(canon.canonical(target))
 	init := NewState(cfg)
-	if init.Key() == goal {
+	if string(canon.canonical(init)) == goal {
 		return nil
 	}
 	parents := map[string]link{init.Key(): {}}
@@ -127,7 +159,7 @@ func TraceTo(cfg Config, target *State) []string {
 				continue
 			}
 			parents[k] = link{st.Key(), sc.Rule}
-			if k == goal {
+			if string(canon.canonical(sc.State)) == goal {
 				var path []string
 				for k != init.Key() {
 					l := parents[k]
@@ -143,7 +175,8 @@ func TraceTo(cfg Config, target *State) []string {
 }
 
 // quiescent reports whether a terminal state is a legitimate fixpoint: no
-// in-flight messages, no outstanding requests, no pending pushes.
+// in-flight messages, no outstanding requests, no pending pushes on any
+// line.
 func quiescent(s *State) bool {
 	for _, q := range s.Ch {
 		if len(q) != 0 {
@@ -156,18 +189,39 @@ func quiescent(s *State) bool {
 			return false
 		}
 	}
-	return s.H.Dir != DBS && s.H.Dir != DBX
+	for l := range s.H {
+		if s.H[l].Dir == DBS || s.H[l].Dir == DBX {
+			return false
+		}
+	}
+	return true
 }
 
 // CheckInvariants evaluates the paper's invariants on one state, returning
-// the name of the first violated invariant or "".
+// the name of the first violated invariant or "". Each line is checked
+// independently (the invariants are per-line properties); multi-line
+// configurations prefix the line to the name.
 func CheckInvariants(cfg Config, s *State) string {
+	lines := len(s.H)
+	for l := 0; l < lines; l++ {
+		if v := checkLineInvariants(s, l); v != "" {
+			if lines > 1 {
+				return fmt.Sprintf("L%d:%s", l, v)
+			}
+			return v
+		}
+	}
+	return ""
+}
+
+func checkLineInvariants(s *State, l int) string {
+	n := s.nodes()
 	// Invariant 1 — "single writer exists" (the Murphi DASH invariant):
 	// at most one node holds the line exclusively, and no other node
 	// holds any readable copy while one does.
 	owner := -1
-	for i := range s.N {
-		if s.N[i].Cache == CE {
+	for i := 0; i < n; i++ {
+		if s.node(l, i).Cache == CE {
 			if owner >= 0 {
 				return "single-writer (two exclusive holders)"
 			}
@@ -175,14 +229,14 @@ func CheckInvariants(cfg Config, s *State) string {
 		}
 	}
 	if owner >= 0 {
-		for i := range s.N {
+		for i := 0; i < n; i++ {
 			if i == owner {
 				continue
 			}
-			if s.N[i].Cache != CI {
+			if s.node(l, i).Cache != CI {
 				return "single-writer (copy beside the owner)"
 			}
-			if s.N[i].RACOk {
+			if s.node(l, i).RACOk {
 				return "single-writer (RAC copy beside the owner)"
 			}
 		}
@@ -192,19 +246,20 @@ func CheckInvariants(cfg Config, s *State) string {
 	// latest written version. (Write-invalidate with acks collected
 	// before commit makes this exact, not just eventual; see the
 	// argument in DESIGN.md §4.)
-	for i := range s.N {
-		n := &s.N[i]
-		if n.Cache != CI && n.Val != s.Latest {
-			return fmt.Sprintf("data-value (node %d caches v%d, latest v%d)", i, n.Val, s.Latest)
+	latest := s.Latest[l]
+	for i := 0; i < n; i++ {
+		nd := s.node(l, i)
+		if nd.Cache != CI && nd.Val != latest {
+			return fmt.Sprintf("data-value (node %d caches v%d, latest v%d)", i, nd.Val, latest)
 		}
-		if n.RACOk && n.RACVal != s.Latest {
+		if nd.RACOk && nd.RACVal != latest {
 			// The producer's pinned surrogate-memory copy is stale by
 			// design while the line is exclusive at the producer: the
 			// cache copy shadows it for every read, and the delayed
 			// intervention refreshes it before the downgrade exposes
 			// it. Any other stale RAC copy is a real violation.
-			if !(n.HasProd && n.PDir == DE) {
-				return fmt.Sprintf("data-value (node %d RAC has v%d, latest v%d)", i, n.RACVal, s.Latest)
+			if !(nd.HasProd && nd.PDir == DE) {
+				return fmt.Sprintf("data-value (node %d RAC has v%d, latest v%d)", i, nd.RACVal, latest)
 			}
 		}
 	}
@@ -212,12 +267,12 @@ func CheckInvariants(cfg Config, s *State) string {
 	// Invariant 3 — "consistency within the directory": a home entry in
 	// UNOWNED/SHARED must not coexist with an exclusive holder, and in
 	// those states memory must hold the latest data.
-	h := &s.H
+	h := &s.H[l]
 	if (h.Dir == DU || h.Dir == DS) && owner >= 0 {
 		return fmt.Sprintf("directory (home %s with exclusive holder %d)", h.Dir, owner)
 	}
-	if (h.Dir == DU || h.Dir == DS) && h.MemVal != s.Latest {
-		return fmt.Sprintf("directory (home %s memory v%d, latest v%d)", h.Dir, h.MemVal, s.Latest)
+	if (h.Dir == DU || h.Dir == DS) && h.MemVal != latest {
+		return fmt.Sprintf("directory (home %s memory v%d, latest v%d)", h.Dir, h.MemVal, latest)
 	}
 	// An exclusive holder must be the directory's (or the delegated
 	// entry's) registered owner.
@@ -230,7 +285,7 @@ func CheckInvariants(cfg Config, s *State) string {
 			legit = true
 		}
 		if h.Dir == DD {
-			p := &s.N[h.Owner]
+			p := s.node(l, int(h.Owner))
 			if int(h.Owner) == owner {
 				legit = true
 			} else if p.HasProd && p.PDir == DE {
@@ -249,8 +304,8 @@ func CheckInvariants(cfg Config, s *State) string {
 	// nothing else claims the producer role, and vice versa at most one
 	// producer-table entry exists for the line.
 	producers := 0
-	for i := range s.N {
-		if s.N[i].HasProd {
+	for i := 0; i < n; i++ {
+		if s.node(l, i).HasProd {
 			producers++
 			if h.Dir != DD {
 				// Legal transient: the UNDELE is in flight. Then the

@@ -13,48 +13,42 @@ type LitmusResult struct {
 // Litmus explores every interleaving of the scripted programs in
 // cfg.Scripts and calls check on the observation vector of each terminal
 // state (per node, the versions its reads returned in program order; a
-// script stalled by the issue bound contributes its prefix). The first
-// check failure aborts the run.
+// script stalled by the issue bound contributes its prefix).
 func Litmus(name string, cfg Config, check func(obs [][]int8) error) *LitmusResult {
+	return LitmusOpts(name, cfg, check, Options{})
+}
+
+// LitmusOpts is Litmus on the parallel engine with explicit Options. The
+// verdict is deterministic at any worker count: the exploration runs to
+// its fixpoint, terminal states are visited in canonical-encoding order,
+// and an invariant violation is reported from the lexicographically
+// smallest violating state, so the error text — including the embedded
+// state — is identical at workers=1 and workers=N. (Litmus mode never
+// applies symmetry reduction; the scripts distinguish the nodes.)
+func LitmusOpts(name string, cfg Config, check func(obs [][]int8) error, opt Options) *LitmusResult {
 	if cfg.Scripts == nil {
 		panic("mcheck: Litmus needs cfg.Scripts")
 	}
 	res := &LitmusResult{Name: name}
-	init := NewState(cfg)
-	visited := map[string]struct{}{init.Key(): {}}
-	queue := []*State{init}
+	r, terms := exploreFull(cfg, opt)
+	res.States = r.States
+	if len(r.Violations) > 0 {
+		v := r.Violations[0]
+		res.Err = fmt.Errorf("litmus %s: invariant %s in %s", name, v.Invariant, v.State)
+		return res
+	}
 	outcomes := map[string]bool{}
-
-	for len(queue) > 0 {
-		st := queue[0]
-		queue = queue[1:]
-		res.States++
-
-		if inv := CheckInvariants(cfg, st); inv != "" {
-			res.Err = fmt.Errorf("litmus %s: invariant %s in %s", name, inv, st)
-			return res
-		}
-
-		succs := Successors(cfg, st)
-		if len(succs) == 0 {
-			key := fmt.Sprint(st.Obs)
-			if !outcomes[key] {
-				outcomes[key] = true
-				if err := check(st.Obs); err != nil {
-					res.Err = fmt.Errorf("litmus %s: %w (state %s)", name, err, st)
-					res.Outcomes = len(outcomes)
-					return res
-				}
-			}
+	for _, enc := range terms {
+		st := DecodeState(cfg, enc)
+		key := fmt.Sprint(st.Obs)
+		if outcomes[key] {
 			continue
 		}
-		for _, sc := range succs {
-			k := sc.State.Key()
-			if _, ok := visited[k]; ok {
-				continue
-			}
-			visited[k] = struct{}{}
-			queue = append(queue, sc.State)
+		outcomes[key] = true
+		if err := check(st.Obs); err != nil {
+			res.Err = fmt.Errorf("litmus %s: %w (state %s)", name, err, st)
+			res.Outcomes = len(outcomes)
+			return res
 		}
 	}
 	res.Outcomes = len(outcomes)

@@ -103,14 +103,14 @@ func TestInvariantsDetectCorruption(t *testing.T) {
 	s = NewState(cfg)
 	s.N[1].Cache = CS
 	s.N[1].Val = 1 // claims v1, but Latest is 0
-	s.Latest = 0
+	s.Latest[0] = 0
 	if inv := CheckInvariants(cfg, s); !strings.Contains(inv, "data-value") {
 		t.Fatalf("stale copy not detected: %q", inv)
 	}
 
 	s = NewState(cfg)
 	s.N[2].Cache = CE
-	s.H.Dir = DS
+	s.H[0].Dir = DS
 	if inv := CheckInvariants(cfg, s); !strings.Contains(inv, "directory") {
 		t.Fatalf("dir inconsistency not detected: %q", inv)
 	}
@@ -122,7 +122,7 @@ func TestDeadlockDetection(t *testing.T) {
 	cfg := small()
 	s := NewState(cfg)
 	s.N[1].Mshr = MWantS
-	s.N[1].Issues = cfg.MaxIssues // cannot reissue
+	s.Iss[1] = cfg.MaxIssues // cannot reissue
 	if quiescent(s) {
 		t.Fatal("state with outstanding MSHR reported quiescent")
 	}
@@ -133,16 +133,16 @@ func TestCanonicalKeySymmetry(t *testing.T) {
 	a := NewState(cfg)
 	a.N[1].Cache = CE
 	a.N[1].Val = 1
-	a.H.Dir = DE
-	a.H.Owner = 1
-	a.Latest = 1
+	a.H[0].Dir = DE
+	a.H[0].Owner = 1
+	a.Latest[0] = 1
 
 	b := NewState(cfg)
 	b.N[2].Cache = CE
 	b.N[2].Val = 1
-	b.H.Dir = DE
-	b.H.Owner = 2
-	b.Latest = 1
+	b.H[0].Dir = DE
+	b.H[0].Owner = 2
+	b.Latest[0] = 1
 
 	if a.Key() == b.Key() {
 		t.Fatal("plain keys should differ")

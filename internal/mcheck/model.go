@@ -13,6 +13,15 @@
 // single-location guarantee sequential consistency needs from coherence),
 // absence of deadlock (no reachable state with outstanding work and no
 // enabled transition), and scripted litmus tests for ordering.
+//
+// The model covers one or more cache lines (Config.Lines). All lines are
+// homed at node 0's hub, sharing the pairwise FIFO channels, so cross-line
+// interactions — a delegation on one line racing traffic for another
+// through the same ordered fabric — are part of the explored space. The
+// exploration core is the parallel engine in parallel.go: canonical state
+// encoding with symmetry reduction (canon.go), a sharded open-addressed
+// visited table (visited.go), and work-stealing BFS with deterministic
+// counterexample selection.
 package mcheck
 
 import (
@@ -102,9 +111,13 @@ var msgNames = [...]string{
 
 func (t MsgType) String() string { return msgNames[t] }
 
-// Msg is one in-flight message. Val is the abstract data version.
+// Msg is one in-flight message. Val is the abstract data version. Line
+// selects the cache line the message concerns; channels are shared by all
+// lines, so messages for different lines order through one FIFO exactly as
+// they do on the simulator's pairwise-ordered fabric.
 type Msg struct {
 	Type MsgType
+	Line int8
 	Req  int8 // requester the message serves
 	Val  int8
 	Acks int8
@@ -119,7 +132,8 @@ type Msg struct {
 	GEp int8
 }
 
-// Node is one processor/hub in the model.
+// Node is one processor/hub's per-line state in the model. The full model
+// state holds Nodes×Lines of these (State.N, line-major).
 type Node struct {
 	Cache CacheState
 	Val   int8
@@ -138,12 +152,12 @@ type Node struct {
 	RACVal int8
 	RACOk  bool
 
-	// Txn is the current transaction number (bounded by Config.MaxIssues
-	// so the state space stays finite); GEp is the epoch under which an
-	// exclusive copy was granted.
-	Txn    int8
-	Issues int8
-	GEp    int8
+	// Txn is the transaction number of this line's outstanding request
+	// (issue numbers are allocated per node across lines, so they stay
+	// unique); GEp is the epoch under which an exclusive copy was
+	// granted.
+	Txn int8
+	GEp int8
 
 	// Delegated directory (valid when HasProd). Mirrors the producer
 	// table entry: delegated state, sharer mask, update bookkeeping.
@@ -155,7 +169,7 @@ type Node struct {
 	PInFlt  int8 // update pushes not yet delivered
 }
 
-// Home is the home node's directory view of the line.
+// Home is the home node's directory view of one line.
 type Home struct {
 	Dir     DirState
 	Shr     uint8
@@ -178,19 +192,27 @@ type Home struct {
 // Config parameterizes the model.
 type Config struct {
 	Nodes      int  // processors (the home directory lives beside node 0)
-	MaxWrites  int  // bound on data versions
-	QueueDepth int  // per src->dst channel bound
+	Lines      int  // modeled cache lines, all homed at node 0 (0 = 1)
+	MaxWrites  int  // bound on data versions, totaled across lines
+	QueueDepth int  // per src->dst channel bound (shared by all lines)
 	Delegation bool // enable the delegation + update extensions
 	DetThresh  int8 // write-repeat saturation threshold (paper: 3)
-	// MaxIssues bounds each node's total request issues (including
-	// NACK-forced retries), which bounds transaction numbers — the
-	// usual bounded-model-checking compromise for retry protocols.
+	// MaxIssues bounds each node's total request issues across all lines
+	// (including NACK-forced retries), which bounds transaction
+	// numbers — the usual bounded-model-checking compromise for retry
+	// protocols.
 	MaxIssues int8
+	// MaxTotalIssues, when positive, additionally bounds the sum of
+	// issues across all nodes. The per-node bound alone multiplies the
+	// interleaving space per extra line; the global bound keeps
+	// multi-line configurations tractable while still letting any node
+	// (and in particular a repeat producer) spend the shared budget.
+	MaxTotalIssues int8
 
 	// Scripts, when non-nil, switches the model to litmus mode: instead
 	// of free processor actions, node i executes Scripts[i] in program
-	// order (reads record the observed version) and spontaneous cache
-	// evictions are disabled. Used by Litmus.
+	// order on line 0 (reads record the observed version) and
+	// spontaneous cache evictions are disabled. Used by Litmus.
 	Scripts [][]LitOp
 }
 
@@ -199,22 +221,56 @@ type LitOp struct {
 	Write bool
 }
 
-// DefaultConfig is the paper-style small configuration: 3 nodes, bounded
-// writes and retries, delegation and updates on.
+// lines resolves the line count (a zero value means one line, matching the
+// single-location model of earlier revisions).
+func (c Config) lines() int {
+	if c.Lines <= 0 {
+		return 1
+	}
+	return c.Lines
+}
+
+// DefaultConfig is the paper-style small configuration: 3 nodes, one line,
+// bounded writes and retries, delegation and updates on.
 func DefaultConfig() Config {
 	return Config{Nodes: 3, MaxWrites: 2, QueueDepth: 2, Delegation: true,
 		DetThresh: 2, MaxIssues: 3}
 }
 
-// State is one global model state. Channels are per (src,dst) FIFO queues,
-// matching the pairwise-ordered fabric of internal/network (index
-// src*Nodes+dst; the home shares node 0's hub).
+// DeepConfig is the ROADMAP's deep verification target: 4 nodes × 2 lines
+// with delegation and speculative updates enabled simultaneously, both
+// lines homed at node 0, a detector threshold low enough that delegation
+// is reachable within the write bound, and a global issue budget that
+// keeps the space explorable to a fixpoint (404,959 canonical states)
+// inside the CI budget, race detector included. One step looser bounds
+// (MaxTotalIssues: 5) exceed 9M canonical states; without the global
+// budget the 3-node × 2-line space alone passes 26M.
+func DeepConfig() Config {
+	return Config{Nodes: 4, Lines: 2, MaxWrites: 2, QueueDepth: 2,
+		Delegation: true, DetThresh: 1, MaxIssues: 2, MaxTotalIssues: 4}
+}
+
+// BenchConfig is the 3-node × 2-line throughput benchmark configuration
+// recorded in BENCH_pr9.json: 1,140,851 raw states (285,914 canonical) —
+// large enough that exploration runs for seconds, small enough that the
+// serial map-based baseline finishes at every worker count comparison.
+func BenchConfig() Config {
+	return Config{Nodes: 3, Lines: 2, MaxWrites: 2, QueueDepth: 2,
+		Delegation: true, DetThresh: 1, MaxIssues: 2, MaxTotalIssues: 4}
+}
+
+// State is one global model state. N holds per-line node state, line-major
+// (line l, node i at N[l*Nodes+i]); H the per-line home directory; Iss the
+// per-node issue budget consumed. Channels are per (src,dst) FIFO queues
+// shared by every line, matching the pairwise-ordered fabric of
+// internal/network (index src*Nodes+dst; the home shares node 0's hub).
 type State struct {
-	N      []Node
-	H      Home
+	N      []Node // [line*Nodes + node]
+	H      []Home // per line
+	Iss    []int8 // per node, lines share the issue budget
 	Ch     [][]Msg
-	Latest int8 // newest written version (checker bookkeeping)
-	Writes int8
+	Latest []int8 // newest written version per line (checker bookkeeping)
+	Writes int8   // total writes across lines
 
 	// Litmus-mode bookkeeping: per-node program counters and the
 	// versions each node's reads observed, in program order.
@@ -222,19 +278,35 @@ type State struct {
 	Obs [][]int8
 }
 
-// NewState returns the initial state: line unowned, memory holds version 0.
+// node returns the per-line state of node i for line l.
+func (s *State) node(l, i int) *Node { return &s.N[l*s.nodes()+i] }
+
+// nodes returns the node count (derived, so State needs no Config).
+func (s *State) nodes() int { return len(s.Iss) }
+
+// NewState returns the initial state: lines unowned, memory holds
+// version 0 of every line.
 func NewState(cfg Config) *State {
+	n, lines := cfg.Nodes, cfg.lines()
+	if n > 8 {
+		panic("mcheck: node masks are 8-bit; Nodes must be <= 8")
+	}
 	s := &State{
-		N:  make([]Node, cfg.Nodes),
-		Ch: make([][]Msg, cfg.Nodes*cfg.Nodes),
-		H:  Home{Owner: -1, Pend: -1, DetW: -1},
+		N:      make([]Node, lines*n),
+		H:      make([]Home, lines),
+		Iss:    make([]int8, n),
+		Ch:     make([][]Msg, n*n),
+		Latest: make([]int8, lines),
 	}
 	for i := range s.N {
 		s.N[i].HintProd = -1
 	}
+	for l := range s.H {
+		s.H[l] = Home{Owner: -1, Pend: -1, DetW: -1}
+	}
 	if cfg.Scripts != nil {
-		s.PC = make([]int8, cfg.Nodes)
-		s.Obs = make([][]int8, cfg.Nodes)
+		s.PC = make([]int8, n)
+		s.Obs = make([][]int8, n)
 	}
 	return s
 }
@@ -243,9 +315,10 @@ func NewState(cfg Config) *State {
 func (s *State) Clone() *State {
 	ns := &State{
 		N:      append([]Node(nil), s.N...),
-		H:      s.H,
+		H:      append([]Home(nil), s.H...),
+		Iss:    append([]int8(nil), s.Iss...),
 		Ch:     make([][]Msg, len(s.Ch)),
-		Latest: s.Latest,
+		Latest: append([]int8(nil), s.Latest...),
 		Writes: s.Writes,
 	}
 	for i, q := range s.Ch {
@@ -265,151 +338,65 @@ func (s *State) Clone() *State {
 	return ns
 }
 
-// Key returns a canonical binary encoding for the visited-set hash.
-func (s *State) Key() string {
-	b := make([]byte, 0, 24*len(s.N)+16+9*8)
-	bl := func(v bool) byte {
-		if v {
-			return 1
-		}
-		return 0
-	}
-	for i := range s.N {
-		n := &s.N[i]
-		b = append(b,
-			byte(n.Cache), byte(n.Val), byte(n.Mshr), byte(n.Acks), byte(n.MVal),
-			bl(n.MHave)|bl(n.Inv)<<1|bl(n.Hint)<<2|bl(n.RACOk)<<3|bl(n.HasProd)<<4|bl(n.PArmed)<<5,
-			byte(n.HintProd), byte(n.RACVal), byte(n.Txn), byte(n.Issues), byte(n.GEp),
-			byte(n.PDir), n.PShr, n.PUpdSet, byte(n.PInFlt))
-	}
-	h := &s.H
-	b = append(b, byte(h.Dir), h.Shr, byte(h.Owner), byte(h.Pend),
-		bl(h.PendX)|bl(h.DetRd)<<1, byte(h.PendFwd), byte(h.MemVal),
-		byte(h.OwnTxn), byte(h.PendTxn), byte(h.DetW), byte(h.DetRep))
-	for i, q := range s.Ch {
-		if len(q) == 0 {
-			continue
-		}
-		b = append(b, 0xFE, byte(i))
-		for _, m := range q {
-			b = append(b, byte(m.Type), byte(m.Req), byte(m.Val), byte(m.Acks),
-				m.Shr, byte(m.Fwd), byte(m.RTxn), byte(m.GEp))
-		}
-	}
-	b = append(b, byte(s.Latest), byte(s.Writes))
-	for i := range s.PC {
-		b = append(b, 0xFD, byte(s.PC[i]))
-		for _, o := range s.Obs[i] {
-			b = append(b, byte(o))
-		}
-	}
-	return string(b)
-}
+// Key returns the binary state encoding as a string, for map-keyed visited
+// sets (the reference serial checker and tests; the parallel engine works
+// on the raw canonical bytes instead).
+func (s *State) Key() string { return string(s.Encode(nil)) }
 
-// CanonicalKey is Key modulo the symmetry of the non-home nodes: in the
-// generic (scriptless) model every node behaves identically, so states
-// differing only by a permutation of nodes 1..N-1 are equivalent. The
-// canonical key is the lexicographically smallest Key over pairwise swaps
-// (N is small). Litmus mode has distinguished scripts and must use Key.
+// CanonicalKey is Key modulo the symmetry of the non-home nodes and of the
+// identically-configured lines: in the generic (scriptless) model every
+// node except the home behaves identically and all lines are homed at
+// node 0, so states differing only by a permutation of nodes 1..N-1 and/or
+// of lines are equivalent. The canonical key is the lexicographically
+// smallest encoding over the full permutation group (node counts are tiny,
+// so enumerating it is cheap). Litmus mode has distinguished scripts and
+// must use Key.
 func (s *State) CanonicalKey() string {
-	best := s.Key()
-	n := len(s.N)
-	for a := 1; a < n; a++ {
-		for b := a + 1; b < n; b++ {
-			sw := s.swapped(a, b)
-			if k := sw.Key(); k < best {
-				best = k
-			}
-		}
+	if s.PC != nil {
+		return s.Key()
 	}
-	return best
-}
-
-// swapped returns the state with node identities a and b exchanged.
-func (s *State) swapped(a, b int) *State {
-	ns := s.Clone()
-	ns.N[a], ns.N[b] = ns.N[b], ns.N[a]
-	ren := func(id int8) int8 {
-		switch int(id) {
-		case a:
-			return int8(b)
-		case b:
-			return int8(a)
-		}
-		return id
-	}
-	renMask := func(m uint8) uint8 {
-		out := m &^ (bit(int8(a)) | bit(int8(b)))
-		if m&bit(int8(a)) != 0 {
-			out |= bit(int8(b))
-		}
-		if m&bit(int8(b)) != 0 {
-			out |= bit(int8(a))
-		}
-		return out
-	}
-	for i := range ns.N {
-		nd := &ns.N[i]
-		nd.HintProd = ren(nd.HintProd)
-		nd.PShr = renMask(nd.PShr)
-		nd.PUpdSet = renMask(nd.PUpdSet)
-	}
-	h := &ns.H
-	h.Owner = ren(h.Owner)
-	h.Pend = ren(h.Pend)
-	h.DetW = ren(h.DetW)
-	h.Shr = renMask(h.Shr)
-	n := len(ns.N)
-	old := ns.Ch
-	ns.Ch = make([][]Msg, n*n)
-	for src := 0; src < n; src++ {
-		for dst := 0; dst < n; dst++ {
-			q := old[src*n+dst]
-			if len(q) == 0 {
-				continue
-			}
-			nsrc, ndst := int(ren(int8(src))), int(ren(int8(dst)))
-			nq := append([]Msg(nil), q...)
-			for i := range nq {
-				nq[i].Req = ren(nq[i].Req)
-				nq[i].Shr = renMask(nq[i].Shr)
-				if nq[i].Type == MHint {
-					nq[i].Val = ren(nq[i].Val) // Hint reuses Val as a node id
-				}
-			}
-			ns.Ch[nsrc*n+ndst] = nq
-		}
-	}
-	return ns
+	c := newCanonicalizer(s.nodes(), len(s.H), false)
+	return string(c.canonical(s))
 }
 
 // String renders the state for counterexample traces.
 func (s *State) String() string {
 	var b strings.Builder
-	for i := range s.N {
-		n := &s.N[i]
-		fmt.Fprintf(&b, "n%d[%s v%d %s", i, n.Cache, n.Val, n.Mshr)
-		if n.RACOk {
-			fmt.Fprintf(&b, " rac:v%d", n.RACVal)
+	n := s.nodes()
+	for l := range s.H {
+		if len(s.H) > 1 {
+			fmt.Fprintf(&b, "L%d: ", l)
 		}
-		if n.HasProd {
-			fmt.Fprintf(&b, " prod:%s shr=%b upd=%b inflt=%d", n.PDir, n.PShr, n.PUpdSet, n.PInFlt)
+		for i := 0; i < n; i++ {
+			nd := s.node(l, i)
+			fmt.Fprintf(&b, "n%d[%s v%d %s", i, nd.Cache, nd.Val, nd.Mshr)
+			if nd.RACOk {
+				fmt.Fprintf(&b, " rac:v%d", nd.RACVal)
+			}
+			if nd.HasProd {
+				fmt.Fprintf(&b, " prod:%s shr=%b upd=%b inflt=%d", nd.PDir, nd.PShr, nd.PUpdSet, nd.PInFlt)
+			}
+			b.WriteString("] ")
 		}
-		b.WriteString("] ")
+		h := &s.H[l]
+		fmt.Fprintf(&b, "home[%s shr=%b own=%d mem=v%d] latest=v%d ", h.Dir, h.Shr, h.Owner, h.MemVal, s.Latest[l])
 	}
-	fmt.Fprintf(&b, "home[%s shr=%b own=%d mem=v%d] latest=v%d", s.H.Dir, s.H.Shr, s.H.Owner, s.H.MemVal, s.Latest)
 	for i, q := range s.Ch {
 		for _, m := range q {
-			fmt.Fprintf(&b, " {%d->%d %s v%d}", i/len(s.N), i%len(s.N), m.Type, m.Val)
+			if len(s.H) > 1 {
+				fmt.Fprintf(&b, " {L%d %d->%d %s v%d}", m.Line, i/n, i%n, m.Type, m.Val)
+			} else {
+				fmt.Fprintf(&b, " {%d->%d %s v%d}", i/n, i%n, m.Type, m.Val)
+			}
 		}
 	}
-	return b.String()
+	return strings.TrimRight(b.String(), " ")
 }
 
 // send enqueues a message on the src->dst channel; it reports false when
 // the channel bound would be exceeded (the rule is then disabled).
 func (s *State) send(src, dst int, m Msg, depth int) bool {
-	i := src*len(s.N) + dst
+	i := src*s.nodes() + dst
 	if len(s.Ch[i]) >= depth {
 		return false
 	}

@@ -98,8 +98,8 @@ func TestRegressionTransferAckTxnCollision(t *testing.T) {
 	})
 	// Before the fix this state had home EXCL owner=2 while node 1 held
 	// the line exclusively and node 2 was still waiting.
-	if st.H.Dir != DBX {
-		t.Fatalf("home should still be busy on node 2's transfer, got %s", st.H.Dir)
+	if st.H[0].Dir != DBX {
+		t.Fatalf("home should still be busy on node 2's transfer, got %s", st.H[0].Dir)
 	}
 	drain(t, cfg, st)
 }
@@ -125,11 +125,11 @@ func TestRegressionTransferWritebackRace(t *testing.T) {
 		"1->0.WB",      // arrives while home is still DBX
 		"0->0.XferAck", // stale, dropped
 	})
-	if st.H.Dir != DU {
-		t.Fatalf("home should be UNOWNED after ownership came and went, got %s", st.H.Dir)
+	if st.H[0].Dir != DU {
+		t.Fatalf("home should be UNOWNED after ownership came and went, got %s", st.H[0].Dir)
 	}
-	if st.H.MemVal != st.Latest {
-		t.Fatalf("memory lost the written-back data: mem v%d latest v%d", st.H.MemVal, st.Latest)
+	if st.H[0].MemVal != st.Latest[0] {
+		t.Fatalf("memory lost the written-back data: mem v%d latest v%d", st.H[0].MemVal, st.Latest[0])
 	}
 }
 
@@ -202,8 +202,8 @@ func TestRegressionUndelegationRefreshesRAC(t *testing.T) {
 	if !p.HasProd || !p.RACOk {
 		t.Fatalf("precondition failed: producer state %s", st)
 	}
-	if p.RACVal != st.Latest {
-		t.Fatalf("pinned RAC copy stale after intervention: v%d latest v%d", p.RACVal, st.Latest)
+	if p.RACVal != st.Latest[0] {
+		t.Fatalf("pinned RAC copy stale after intervention: v%d latest v%d", p.RACVal, st.Latest[0])
 	}
 	drain(t, cfg, st)
 }

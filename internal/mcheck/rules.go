@@ -8,174 +8,156 @@ type Succ struct {
 	State *State
 }
 
-// home is the node whose hub hosts the directory for the modeled line.
+// home is the node whose hub hosts the directory for every modeled line.
 const home = 0
 
+// lbl prefixes a rule label with its line for multi-line configurations.
+// Single-line labels are byte-identical to earlier revisions — regression
+// tests pin exact label sequences.
+func lbl(lines, l int, s string) string {
+	if lines > 1 {
+		return fmt.Sprintf("L%d:%s", l, s)
+	}
+	return s
+}
+
 // Successors enumerates every enabled transition of s: spontaneous
-// processor actions, message deliveries (any channel head), and the
-// nondeterministically timed delayed intervention.
+// processor actions on each line, message deliveries (any channel head),
+// and the nondeterministically timed delayed interventions.
 func Successors(cfg Config, s *State) []Succ {
 	var out []Succ
 	add := func(rule string, ns *State) { out = append(out, Succ{rule, ns}) }
 
-	n := len(s.N)
+	n := s.nodes()
+	lines := len(s.H)
 	for i := 0; i < n; i++ {
-		node := &s.N[i]
-
 		if cfg.Scripts != nil {
 			scriptStep(cfg, s, i, add)
 			continue
 		}
+		for l := 0; l < lines; l++ {
+			node := s.node(l, i)
 
-		// Issue a read miss.
-		if node.Cache == CI && node.Mshr == MNone && !node.RACOk && node.Issues < cfg.MaxIssues {
-			ns := s.Clone()
-			nn := &ns.N[i]
-			nn.Mshr = MWantS
-			nn.Inv = false
-			nn.Issues++
-			nn.Txn = nn.Issues
-			dst := home
-			if nn.Hint {
-				dst = int(nn.HintProd)
-			}
-			if ns.send(i, dst, Msg{Type: MGetS, Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
-				add(fmt.Sprintf("n%d.GetS->%d", i, dst), ns)
-			}
-		}
-
-		// Read a locally available copy (cache or RAC): no transition
-		// needed for cache hits; a RAC hit promotes the copy, which is
-		// a state change worth exploring.
-		if node.Cache == CI && node.Mshr == MNone && node.RACOk {
-			ns := s.Clone()
-			nn := &ns.N[i]
-			nn.Cache = CS
-			nn.Val = nn.RACVal
-			if !nn.HasProd {
-				nn.RACOk = false // victim-cache move; pinned master stays
-			}
-			add(fmt.Sprintf("n%d.RACHit", i), ns)
-		}
-
-		// Issue a write (GetX on invalid, Upgrade on shared), bounded.
-		if s.Writes < int8(cfg.MaxWrites) && node.Mshr == MNone && node.Issues < cfg.MaxIssues {
-			if node.HasProd && node.PDir == DS && node.PInFlt == 0 {
-				// Producer write on a delegated line (Figure 6).
+			// Issue a read miss.
+			if node.Cache == CI && node.Mshr == MNone && !node.RACOk && canIssue(cfg, s, i) {
 				ns := s.Clone()
-				nn := &ns.N[i]
-				nn.Issues++
-				nn.Txn = nn.Issues
-				cons := nn.PShr &^ bit(int8(i))
-				nn.PDir = DE
-				nn.PUpdSet = cons
-				nn.PArmed = false
-				nn.Mshr = MWaitAck
-				nn.MHave = true
-				nn.MVal = nn.val(i)
-				nn.Acks = int8(popcount(cons))
-				ok := true
-				for j := 0; j < n; j++ {
-					if cons&bit(int8(j)) != 0 {
-						if !ns.send(i, j, Msg{Type: MInval, Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
-							ok = false
+				nn := ns.node(l, i)
+				nn.Mshr = MWantS
+				nn.Inv = false
+				ns.Iss[i]++
+				nn.Txn = ns.Iss[i]
+				dst := home
+				if nn.Hint {
+					dst = int(nn.HintProd)
+				}
+				if ns.send(i, dst, Msg{Type: MGetS, Line: int8(l), Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
+					add(lbl(lines, l, fmt.Sprintf("n%d.GetS->%d", i, dst)), ns)
+				}
+			}
+
+			// Read a locally available copy (cache or RAC): no transition
+			// needed for cache hits; a RAC hit promotes the copy, which is
+			// a state change worth exploring.
+			if node.Cache == CI && node.Mshr == MNone && node.RACOk {
+				ns := s.Clone()
+				nn := ns.node(l, i)
+				nn.Cache = CS
+				nn.Val = nn.RACVal
+				if !nn.HasProd {
+					nn.RACOk = false // victim-cache move; pinned master stays
+				}
+				add(lbl(lines, l, fmt.Sprintf("n%d.RACHit", i)), ns)
+			}
+
+			// Issue a write (GetX on invalid, Upgrade on shared), bounded.
+			if s.Writes < int8(cfg.MaxWrites) && node.Mshr == MNone && canIssue(cfg, s, i) {
+				if node.HasProd && node.PDir == DS && node.PInFlt == 0 {
+					// Producer write on a delegated line (Figure 6).
+					ns := s.Clone()
+					nn := ns.node(l, i)
+					ns.Iss[i]++
+					nn.Txn = ns.Iss[i]
+					cons := nn.PShr &^ bit(int8(i))
+					nn.PDir = DE
+					nn.PUpdSet = cons
+					nn.PArmed = false
+					nn.Mshr = MWaitAck
+					nn.MHave = true
+					nn.MVal = nn.val(i)
+					nn.Acks = int8(popcount(cons))
+					ok := true
+					for j := 0; j < n; j++ {
+						if cons&bit(int8(j)) != 0 {
+							if !ns.send(i, j, Msg{Type: MInval, Line: int8(l), Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
+								ok = false
+							}
+						}
+					}
+					if ok {
+						if nn.Acks == 0 {
+							completeWrite(cfg, ns, l, i)
+						}
+						add(lbl(lines, l, fmt.Sprintf("n%d.DelegatedWrite", i)), ns)
+					}
+				} else if !node.HasProd {
+					switch node.Cache {
+					case CI:
+						ns := s.Clone()
+						nn := ns.node(l, i)
+						nn.Mshr = MWantX
+						nn.Acks = 0
+						nn.MHave = false
+						ns.Iss[i]++
+						nn.Txn = ns.Iss[i]
+						dst := home
+						if nn.Hint {
+							dst = int(nn.HintProd)
+						}
+						if ns.send(i, dst, Msg{Type: MGetX, Line: int8(l), Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
+							add(lbl(lines, l, fmt.Sprintf("n%d.GetX->%d", i, dst)), ns)
+						}
+					case CS:
+						ns := s.Clone()
+						nn := ns.node(l, i)
+						nn.Mshr = MWantUpg
+						nn.Acks = 0
+						nn.MHave = false
+						nn.MVal = nn.Val // MSHR stashes the shared data
+						ns.Iss[i]++
+						nn.Txn = ns.Iss[i]
+						dst := home
+						if nn.Hint {
+							dst = int(nn.HintProd)
+						}
+						if ns.send(i, dst, Msg{Type: MUpg, Line: int8(l), Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
+							add(lbl(lines, l, fmt.Sprintf("n%d.Upg->%d", i, dst)), ns)
 						}
 					}
 				}
-				if ok {
-					if nn.Acks == 0 {
-						completeWrite(cfg, ns, i)
-					}
-					add(fmt.Sprintf("n%d.DelegatedWrite", i), ns)
-				}
-			} else if !node.HasProd {
-				switch node.Cache {
-				case CI:
-					ns := s.Clone()
-					nn := &ns.N[i]
-					nn.Mshr = MWantX
-					nn.Acks = 0
-					nn.MHave = false
-					nn.Issues++
-					nn.Txn = nn.Issues
-					dst := home
-					if nn.Hint {
-						dst = int(nn.HintProd)
-					}
-					if ns.send(i, dst, Msg{Type: MGetX, Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
-						add(fmt.Sprintf("n%d.GetX->%d", i, dst), ns)
-					}
-				case CS:
-					ns := s.Clone()
-					nn := &ns.N[i]
-					nn.Mshr = MWantUpg
-					nn.Acks = 0
-					nn.MHave = false
-					nn.MVal = nn.Val // MSHR stashes the shared data
-					nn.Issues++
-					nn.Txn = nn.Issues
-					dst := home
-					if nn.Hint {
-						dst = int(nn.HintProd)
-					}
-					if ns.send(i, dst, Msg{Type: MUpg, Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
-						add(fmt.Sprintf("n%d.Upg->%d", i, dst), ns)
-					}
-				}
 			}
-		}
 
-		// Evict an exclusive line (writeback) — not while transacting
-		// and not for delegated lines (those fold into the RAC).
-		if node.Cache == CE && node.Mshr == MNone && !node.HasProd {
-			ns := s.Clone()
-			nn := &ns.N[i]
-			v := nn.Val
-			nn.Cache = CI
-			if ns.send(i, home, Msg{Type: MWB, Req: int8(i), Val: v}, cfg.QueueDepth) {
-				add(fmt.Sprintf("n%d.Evict(WB)", i), ns)
-			}
-		}
-
-		// Silently evict a shared line.
-		if node.Cache == CS && node.Mshr == MNone && !node.HasProd {
-			ns := s.Clone()
-			ns.N[i].Cache = CI
-			add(fmt.Sprintf("n%d.EvictS", i), ns)
-		}
-
-		// Delayed intervention fires (§2.4.1); its timing is fully
-		// nondeterministic in the model.
-		if node.HasProd && node.PArmed && node.Mshr == MNone {
-			if node.PDir == DE {
+			// Evict an exclusive line (writeback) — not while transacting
+			// and not for delegated lines (those fold into the RAC).
+			if node.Cache == CE && node.Mshr == MNone && !node.HasProd {
 				ns := s.Clone()
-				nn := &ns.N[i]
-				nn.PArmed = false
-				v := nn.val(i)
-				if nn.Cache == CE {
-					nn.Cache = CS
-				}
-				nn.RACOk = true
-				nn.RACVal = v
-				targets := nn.PUpdSet &^ bit(int8(i))
-				nn.PDir = DS
-				nn.PShr = targets | bit(int8(i))
-				if pushAll(cfg, ns, i, targets, v) {
-					add(fmt.Sprintf("n%d.Intervention", i), ns)
-				}
-			} else {
-				// Early consumer read already downgraded the line:
-				// push to consumers that have not re-read.
-				ns := s.Clone()
-				nn := &ns.N[i]
-				nn.PArmed = false
-				v := nn.val(i)
-				targets := nn.PUpdSet &^ nn.PShr &^ bit(int8(i))
-				nn.PShr |= targets
-				if pushAll(cfg, ns, i, targets, v) {
-					add(fmt.Sprintf("n%d.LatePush", i), ns)
+				nn := ns.node(l, i)
+				v := nn.Val
+				nn.Cache = CI
+				if ns.send(i, home, Msg{Type: MWB, Line: int8(l), Req: int8(i), Val: v}, cfg.QueueDepth) {
+					add(lbl(lines, l, fmt.Sprintf("n%d.Evict(WB)", i)), ns)
 				}
 			}
+
+			// Silently evict a shared line.
+			if node.Cache == CS && node.Mshr == MNone && !node.HasProd {
+				ns := s.Clone()
+				ns.node(l, i).Cache = CI
+				add(lbl(lines, l, fmt.Sprintf("n%d.EvictS", i)), ns)
+			}
+
+			// Delayed intervention fires (§2.4.1); its timing is fully
+			// nondeterministic in the model.
+			genericTimerStep(cfg, s, l, i, add)
 		}
 	}
 
@@ -192,7 +174,7 @@ func Successors(cfg Config, s *State) []Succ {
 			ns.Ch[ci] = nil
 		}
 		if deliver(cfg, ns, src, dst, m) {
-			add(fmt.Sprintf("%d->%d.%s", src, dst, m.Type), ns)
+			add(lbl(lines, int(m.Line), fmt.Sprintf("%d->%d.%s", src, dst, m.Type)), ns)
 		}
 	}
 	return out
@@ -210,11 +192,11 @@ func (nd *Node) val(self int) int8 {
 	return nd.Val
 }
 
-func pushAll(cfg Config, s *State, src int, targets uint8, v int8) bool {
-	nn := &s.N[src]
-	for j := 0; j < len(s.N); j++ {
+func pushAll(cfg Config, s *State, l, src int, targets uint8, v int8) bool {
+	nn := s.node(l, src)
+	for j := 0; j < s.nodes(); j++ {
 		if targets&bit(int8(j)) != 0 {
-			if !s.send(src, j, Msg{Type: MUpd, Req: int8(j), Val: v}, cfg.QueueDepth) {
+			if !s.send(src, j, Msg{Type: MUpd, Line: int8(l), Req: int8(j), Val: v}, cfg.QueueDepth) {
 				return false
 			}
 			nn.PInFlt++
@@ -223,18 +205,18 @@ func pushAll(cfg Config, s *State, src int, targets uint8, v int8) bool {
 	return true
 }
 
-// completeWrite commits a write at node i: the version advances and, for
-// delegated lines, the delayed intervention is armed.
-func completeWrite(cfg Config, s *State, i int) {
-	nn := &s.N[i]
+// completeWrite commits a write at node i on line l: the line's version
+// advances and, for delegated lines, the delayed intervention is armed.
+func completeWrite(cfg Config, s *State, l, i int) {
+	nn := s.node(l, i)
 	nn.Cache = CE
 	if nn.RACOk && !nn.HasProd {
 		nn.RACOk = false // cache and unpinned RAC never hold the same line
 	}
 	nn.GEp = nn.Txn // ownership epoch = the granting request's txn
-	s.Latest++
+	s.Latest[l]++
 	s.Writes++
-	nn.Val = s.Latest
+	nn.Val = s.Latest[l]
 	nn.Mshr = MNone
 	nn.MHave = false
 	nn.Inv = false
@@ -243,9 +225,9 @@ func completeWrite(cfg Config, s *State, i int) {
 	}
 }
 
-// completeRead commits a read at node i with version v.
-func completeRead(s *State, i int, v int8) {
-	nn := &s.N[i]
+// completeRead commits a read at node i on line l with version v.
+func completeRead(s *State, l, i int, v int8) {
+	nn := s.node(l, i)
 	if nn.Inv {
 		// Use-once fill: satisfy the load, do not cache.
 		nn.Inv = false
@@ -257,21 +239,21 @@ func completeRead(s *State, i int, v int8) {
 		}
 	}
 	nn.Mshr = MNone
-	if s.Obs != nil {
+	if s.Obs != nil && l == 0 {
 		s.Obs[i] = append(s.Obs[i], v)
 	}
 }
 
 // scriptStep emits the litmus-mode transition for node i: execute the next
-// scripted operation when the node is idle. Local hits complete
+// scripted operation (on line 0) when the node is idle. Local hits complete
 // immediately; misses issue protocol transactions whose completions record
 // the observation.
 func scriptStep(cfg Config, s *State, i int, add func(string, *State)) {
-	node := &s.N[i]
+	node := s.node(0, i)
 	script := cfg.Scripts[i]
 	// Delayed interventions fire nondeterministically alongside ops.
-	genericTimerStep(cfg, s, i, add)
-	if int(s.PC[i]) >= len(script) || node.Mshr != MNone || node.Issues >= cfg.MaxIssues {
+	genericTimerStep(cfg, s, 0, i, add)
+	if int(s.PC[i]) >= len(script) || node.Mshr != MNone || !canIssue(cfg, s, i) {
 		return
 	}
 	op := script[s.PC[i]]
@@ -280,13 +262,13 @@ func scriptStep(cfg Config, s *State, i int, add func(string, *State)) {
 		if node.Cache != CI {
 			ns := s.Clone()
 			ns.PC[i]++
-			ns.Obs[i] = append(ns.Obs[i], ns.N[i].Val)
+			ns.Obs[i] = append(ns.Obs[i], ns.node(0, i).Val)
 			add(fmt.Sprintf("n%d.ReadHit", i), ns)
 			return
 		}
 		if node.RACOk {
 			ns := s.Clone()
-			nn := &ns.N[i]
+			nn := ns.node(0, i)
 			nn.Cache = CS
 			nn.Val = nn.RACVal
 			if !nn.HasProd {
@@ -298,11 +280,11 @@ func scriptStep(cfg Config, s *State, i int, add func(string, *State)) {
 			return
 		}
 		ns := s.Clone()
-		nn := &ns.N[i]
+		nn := ns.node(0, i)
 		nn.Mshr = MWantS
 		nn.Inv = false
-		nn.Issues++
-		nn.Txn = nn.Issues
+		ns.Iss[i]++
+		nn.Txn = ns.Iss[i]
 		ns.PC[i]++ // the observation lands at completion
 		dst := home
 		if nn.Hint {
@@ -316,19 +298,19 @@ func scriptStep(cfg Config, s *State, i int, add func(string, *State)) {
 	// Write: silent on an exclusive copy, otherwise a transaction.
 	if node.Cache == CE {
 		ns := s.Clone()
-		nn := &ns.N[i]
-		ns.Latest++
+		nn := ns.node(0, i)
+		ns.Latest[0]++
 		ns.Writes++
-		nn.Val = ns.Latest
+		nn.Val = ns.Latest[0]
 		ns.PC[i]++
 		add(fmt.Sprintf("n%d.WriteHit", i), ns)
 		return
 	}
 	if node.HasProd && node.PDir == DS && node.PInFlt == 0 {
 		ns := s.Clone()
-		nn := &ns.N[i]
-		nn.Issues++
-		nn.Txn = nn.Issues
+		nn := ns.node(0, i)
+		ns.Iss[i]++
+		nn.Txn = ns.Iss[i]
 		cons := nn.PShr &^ bit(int8(i))
 		nn.PDir = DE
 		nn.PUpdSet = cons
@@ -338,7 +320,7 @@ func scriptStep(cfg Config, s *State, i int, add func(string, *State)) {
 		nn.MVal = nn.val(i)
 		nn.Acks = int8(popcount(cons))
 		ok := true
-		for j := 0; j < len(s.N); j++ {
+		for j := 0; j < s.nodes(); j++ {
 			if cons&bit(int8(j)) != 0 {
 				if !ns.send(i, j, Msg{Type: MInval, Req: int8(i), RTxn: nn.Txn}, cfg.QueueDepth) {
 					ok = false
@@ -348,16 +330,16 @@ func scriptStep(cfg Config, s *State, i int, add func(string, *State)) {
 		if ok {
 			ns.PC[i]++
 			if nn.Acks == 0 {
-				completeWrite(cfg, ns, i)
+				completeWrite(cfg, ns, 0, i)
 			}
 			add(fmt.Sprintf("n%d.DelegatedWrite", i), ns)
 		}
 		return
 	}
 	ns := s.Clone()
-	nn := &ns.N[i]
-	nn.Issues++
-	nn.Txn = nn.Issues
+	nn := ns.node(0, i)
+	ns.Iss[i]++
+	nn.Txn = ns.Iss[i]
 	nn.Acks = 0
 	nn.MHave = false
 	t := MGetX
@@ -378,16 +360,17 @@ func scriptStep(cfg Config, s *State, i int, add func(string, *State)) {
 	}
 }
 
-// genericTimerStep emits the delayed-intervention transitions (shared by
-// both modes).
-func genericTimerStep(cfg Config, s *State, i int, add func(string, *State)) {
-	node := &s.N[i]
+// genericTimerStep emits the delayed-intervention transitions for line l
+// (shared by both modes).
+func genericTimerStep(cfg Config, s *State, l, i int, add func(string, *State)) {
+	node := s.node(l, i)
 	if !(node.HasProd && node.PArmed && node.Mshr == MNone) {
 		return
 	}
+	lines := len(s.H)
 	if node.PDir == DE {
 		ns := s.Clone()
-		nn := &ns.N[i]
+		nn := ns.node(l, i)
 		nn.PArmed = false
 		v := nn.val(i)
 		if nn.Cache == CE {
@@ -398,27 +381,29 @@ func genericTimerStep(cfg Config, s *State, i int, add func(string, *State)) {
 		targets := nn.PUpdSet &^ bit(int8(i))
 		nn.PDir = DS
 		nn.PShr = targets | bit(int8(i))
-		if pushAll(cfg, ns, i, targets, v) {
-			add(fmt.Sprintf("n%d.Intervention", i), ns)
+		if pushAll(cfg, ns, l, i, targets, v) {
+			add(lbl(lines, l, fmt.Sprintf("n%d.Intervention", i)), ns)
 		}
 	} else {
 		ns := s.Clone()
-		nn := &ns.N[i]
+		nn := ns.node(l, i)
 		nn.PArmed = false
 		v := nn.val(i)
 		targets := nn.PUpdSet &^ nn.PShr &^ bit(int8(i))
 		nn.PShr |= targets
-		if pushAll(cfg, ns, i, targets, v) {
-			add(fmt.Sprintf("n%d.LatePush", i), ns)
+		if pushAll(cfg, ns, l, i, targets, v) {
+			add(lbl(lines, l, fmt.Sprintf("n%d.LatePush", i)), ns)
 		}
 	}
 }
 
 // deliver applies one message at its destination; it reports false when a
 // required send would exceed the channel bound (the delivery is then
-// disabled rather than half-applied).
+// disabled rather than half-applied). The message's Line field selects
+// which line's state it touches.
 func deliver(cfg Config, s *State, src, dst int, m Msg) bool {
-	nd := &s.N[dst]
+	l := int(m.Line)
+	nd := s.node(l, dst)
 	switch m.Type {
 	case MGetS, MGetX, MUpg:
 		return deliverRequest(cfg, s, src, dst, m)
@@ -433,20 +418,20 @@ func deliver(cfg Config, s *State, src, dst int, m Msg) bool {
 		if nd.Mshr == MWantS {
 			nd.Inv = true
 		}
-		return s.send(dst, int(m.Req), Msg{Type: MInvAck, RTxn: m.RTxn}, cfg.QueueDepth)
+		return s.send(dst, int(m.Req), Msg{Type: MInvAck, Line: m.Line, RTxn: m.RTxn}, cfg.QueueDepth)
 
 	case MInvAck:
 		if (nd.Mshr == MWantX || nd.Mshr == MWantUpg || nd.Mshr == MWaitAck) && m.RTxn == nd.Txn {
 			nd.Acks--
 			if nd.Acks == 0 && nd.MHave {
-				completeWrite(cfg, s, dst)
+				completeWrite(cfg, s, l, dst)
 			}
 		}
 		return true
 
 	case MSRep, MSResp:
 		if nd.Mshr == MWantS && m.RTxn == nd.Txn {
-			completeRead(s, dst, m.Val)
+			completeRead(s, l, dst, m.Val)
 		}
 		return true
 
@@ -456,7 +441,7 @@ func deliver(cfg Config, s *State, src, dst int, m Msg) bool {
 			nd.MVal = m.Val
 			nd.Acks += m.Acks
 			if nd.Acks == 0 {
-				completeWrite(cfg, s, dst)
+				completeWrite(cfg, s, l, dst)
 			}
 		}
 		return true
@@ -466,7 +451,7 @@ func deliver(cfg Config, s *State, src, dst int, m Msg) bool {
 			nd.MHave = true
 			nd.Acks += m.Acks
 			if nd.Acks == 0 {
-				completeWrite(cfg, s, dst)
+				completeWrite(cfg, s, l, dst)
 			}
 		}
 		return true
@@ -476,7 +461,7 @@ func deliver(cfg Config, s *State, src, dst int, m Msg) bool {
 			nd.MHave = true
 			nd.MVal = m.Val
 			if nd.Acks == 0 {
-				completeWrite(cfg, s, dst)
+				completeWrite(cfg, s, l, dst)
 			}
 		}
 		return true
@@ -492,10 +477,10 @@ func deliver(cfg Config, s *State, src, dst int, m Msg) bool {
 		if nd.Cache == CE && nd.GEp == m.GEp {
 			nd.Cache = CS
 			v := nd.Val
-			if !s.send(dst, int(m.Req), Msg{Type: MSResp, Val: v, RTxn: m.RTxn}, cfg.QueueDepth) {
+			if !s.send(dst, int(m.Req), Msg{Type: MSResp, Line: m.Line, Val: v, RTxn: m.RTxn}, cfg.QueueDepth) {
 				return false
 			}
-			return s.send(dst, home, Msg{Type: MSWB, Val: v}, cfg.QueueDepth)
+			return s.send(dst, home, Msg{Type: MSWB, Line: m.Line, Val: v}, cfg.QueueDepth)
 		}
 		return true // stale epoch: home completes from the crossing WB
 
@@ -506,15 +491,15 @@ func deliver(cfg Config, s *State, src, dst int, m Msg) bool {
 		if nd.Cache == CE && nd.GEp == m.GEp {
 			v := nd.Val
 			nd.Cache = CI
-			if !s.send(dst, int(m.Req), Msg{Type: MXResp, Val: v, RTxn: m.RTxn}, cfg.QueueDepth) {
+			if !s.send(dst, int(m.Req), Msg{Type: MXResp, Line: m.Line, Val: v, RTxn: m.RTxn}, cfg.QueueDepth) {
 				return false
 			}
-			return s.send(dst, home, Msg{Type: MXferAck, Req: m.Req, RTxn: m.RTxn}, cfg.QueueDepth)
+			return s.send(dst, home, Msg{Type: MXferAck, Line: m.Line, Req: m.Req, RTxn: m.RTxn}, cfg.QueueDepth)
 		}
 		return true
 
 	case MSWB:
-		h := &s.H
+		h := &s.H[l]
 		h.MemVal = m.Val
 		h.Dir = DS
 		h.Shr = bit(int8(src)) | bit(h.Pend)
@@ -522,7 +507,7 @@ func deliver(cfg Config, s *State, src, dst int, m Msg) bool {
 		return true
 
 	case MXferAck:
-		h := &s.H
+		h := &s.H[l]
 		if h.Dir != DBX || h.PendTxn != m.RTxn || h.Pend != m.Req {
 			return true // stale: an early writeback resolved the transfer
 		}
@@ -584,14 +569,14 @@ func deliver(cfg Config, s *State, src, dst int, m Msg) bool {
 		}
 		nd.Acks += m.Acks
 		if nd.Acks == 0 {
-			completeWrite(cfg, s, dst)
+			completeWrite(cfg, s, l, dst)
 		} else {
 			nd.Mshr = MWaitAck
 		}
 		return true
 
 	case MUndele:
-		h := &s.H
+		h := &s.H[l]
 		h.Dir = DS
 		if m.Shr == 0 {
 			h.Dir = DU
@@ -603,17 +588,17 @@ func deliver(cfg Config, s *State, src, dst int, m Msg) bool {
 		h.DetRep = 0
 		h.DetRd = false
 		if m.Fwd != 0 && m.Req >= 0 {
-			return deliverRequest(cfg, s, home, home, Msg{Type: m.Fwd, Req: m.Req, RTxn: m.RTxn})
+			return deliverRequest(cfg, s, home, home, Msg{Type: m.Fwd, Line: m.Line, Req: m.Req, RTxn: m.RTxn})
 		}
 		return true
 
 	case MUpd:
 		// Link-level delivery notification to the producer.
-		if s.N[src].PInFlt > 0 {
-			s.N[src].PInFlt--
+		if p := s.node(l, src); p.PInFlt > 0 {
+			p.PInFlt--
 		}
 		if nd.Mshr == MWantS {
-			completeRead(s, dst, m.Val)
+			completeRead(s, l, dst, m.Val)
 			return true
 		}
 		if nd.Cache == CI && !nd.RACOk {
@@ -628,7 +613,7 @@ func deliver(cfg Config, s *State, src, dst int, m Msg) bool {
 // deliverRequest routes a coherence request at its destination node:
 // delegated lines first, the home directory second, NACK otherwise.
 func deliverRequest(cfg Config, s *State, src, dst int, m Msg) bool {
-	nd := &s.N[dst]
+	nd := s.node(int(m.Line), dst)
 	if nd.HasProd {
 		return delegatedRequest(cfg, s, src, dst, m)
 	}
@@ -640,26 +625,26 @@ func deliverRequest(cfg Config, s *State, src, dst int, m Msg) bool {
 	if src == int(m.Req) {
 		t = MNackNH
 	}
-	return s.send(dst, int(m.Req), Msg{Type: t, RTxn: m.RTxn}, cfg.QueueDepth)
+	return s.send(dst, int(m.Req), Msg{Type: t, Line: m.Line, RTxn: m.RTxn}, cfg.QueueDepth)
 }
 
 func delegatedRequest(cfg Config, s *State, src, dst int, m Msg) bool {
-	nd := &s.N[dst]
+	nd := s.node(int(m.Line), dst)
 	req := int(m.Req)
 	if req == dst {
 		// The producer's own request looped back (hint to self after
 		// undelegation+redelegation); treat as a home-side NACK.
-		return s.send(dst, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+		return s.send(dst, req, Msg{Type: MNack, Line: m.Line, RTxn: m.RTxn}, cfg.QueueDepth)
 	}
 	if nd.Mshr != MNone {
-		return s.send(dst, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+		return s.send(dst, req, Msg{Type: MNack, Line: m.Line, RTxn: m.RTxn}, cfg.QueueDepth)
 	}
 	switch m.Type {
 	case MGetS:
 		switch nd.PDir {
 		case DS:
 			nd.PShr |= bit(int8(req))
-			return s.send(dst, req, Msg{Type: MSResp, Val: nd.val(dst), RTxn: m.RTxn}, cfg.QueueDepth)
+			return s.send(dst, req, Msg{Type: MSResp, Line: m.Line, Val: nd.val(dst), RTxn: m.RTxn}, cfg.QueueDepth)
 		case DE:
 			// Early read: immediate downgrade; an armed timer will
 			// push to the remaining consumers later.
@@ -671,11 +656,11 @@ func delegatedRequest(cfg Config, s *State, src, dst int, m Msg) bool {
 			nd.RACVal = v
 			nd.PDir = DS
 			nd.PShr = bit(int8(dst)) | bit(int8(req))
-			return s.send(dst, req, Msg{Type: MSResp, Val: v, RTxn: m.RTxn}, cfg.QueueDepth)
+			return s.send(dst, req, Msg{Type: MSResp, Line: m.Line, Val: v, RTxn: m.RTxn}, cfg.QueueDepth)
 		}
 	case MGetX, MUpg:
 		if nd.PInFlt > 0 {
-			return s.send(dst, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+			return s.send(dst, req, Msg{Type: MNack, Line: m.Line, RTxn: m.RTxn}, cfg.QueueDepth)
 		}
 		// Undelegation reason 3: downgrade our copy, hand the entry
 		// and the pending request back to the home.
@@ -698,27 +683,28 @@ func delegatedRequest(cfg Config, s *State, src, dst int, m Msg) bool {
 			nd.RACVal = v
 		}
 		return s.send(dst, home, Msg{
-			Type: MUndele, Val: v, Shr: holders, Fwd: m.Type, Req: m.Req, RTxn: m.RTxn,
+			Type: MUndele, Line: m.Line, Val: v, Shr: holders, Fwd: m.Type, Req: m.Req, RTxn: m.RTxn,
 		}, cfg.QueueDepth)
 	}
 	panic("mcheck: delegatedRequest unhandled")
 }
 
 func homeRequest(cfg Config, s *State, src int, m Msg) bool {
-	h := &s.H
+	l := int(m.Line)
+	h := &s.H[l]
 	req := int(m.Req)
 	if h.Dir == DBS || h.Dir == DBX {
-		return s.send(home, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+		return s.send(home, req, Msg{Type: MNack, Line: m.Line, RTxn: m.RTxn}, cfg.QueueDepth)
 	}
 	if h.Dir == DD {
 		if int8(req) == h.Owner {
-			return s.send(home, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+			return s.send(home, req, Msg{Type: MNack, Line: m.Line, RTxn: m.RTxn}, cfg.QueueDepth)
 		}
 		if !s.send(home, int(h.Owner), m, cfg.QueueDepth) {
 			return false
 		}
 		if req != home {
-			return s.send(home, req, Msg{Type: MHint, Val: h.Owner}, cfg.QueueDepth)
+			return s.send(home, req, Msg{Type: MHint, Line: m.Line, Val: h.Owner}, cfg.QueueDepth)
 		}
 		return true
 	}
@@ -732,36 +718,36 @@ func homeRequest(cfg Config, s *State, src int, m Msg) bool {
 		case DU:
 			h.Dir = DS
 			h.Shr = bit(int8(req))
-			return s.send(home, req, Msg{Type: MSRep, Val: h.MemVal, RTxn: m.RTxn}, cfg.QueueDepth)
+			return s.send(home, req, Msg{Type: MSRep, Line: m.Line, Val: h.MemVal, RTxn: m.RTxn}, cfg.QueueDepth)
 		case DS:
 			h.Shr |= bit(int8(req))
-			return s.send(home, req, Msg{Type: MSRep, Val: h.MemVal, RTxn: m.RTxn}, cfg.QueueDepth)
+			return s.send(home, req, Msg{Type: MSRep, Line: m.Line, Val: h.MemVal, RTxn: m.RTxn}, cfg.QueueDepth)
 		case DE:
 			if int(h.Owner) == req {
-				return s.send(home, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+				return s.send(home, req, Msg{Type: MNack, Line: m.Line, RTxn: m.RTxn}, cfg.QueueDepth)
 			}
 			h.Dir = DBS
 			h.Pend = int8(req)
 			h.PendX = false
 			h.PendTxn = m.RTxn
-			return s.send(home, int(h.Owner), Msg{Type: MInt, Req: m.Req, RTxn: m.RTxn, GEp: h.OwnTxn}, cfg.QueueDepth)
+			return s.send(home, int(h.Owner), Msg{Type: MInt, Line: m.Line, Req: m.Req, RTxn: m.RTxn, GEp: h.OwnTxn}, cfg.QueueDepth)
 		}
 
 	case MGetX, MUpg:
 		switch h.Dir {
 		case DU:
 			if m.Type == MUpg {
-				return s.send(home, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+				return s.send(home, req, Msg{Type: MNack, Line: m.Line, RTxn: m.RTxn}, cfg.QueueDepth)
 			}
 			detectorWrite(h, req)
 			h.Dir = DE
 			h.Owner = int8(req)
 			h.Shr = 0
 			h.OwnTxn = m.RTxn
-			return s.send(home, req, Msg{Type: MXRep, Val: h.MemVal, RTxn: m.RTxn}, cfg.QueueDepth)
+			return s.send(home, req, Msg{Type: MXRep, Line: m.Line, Val: h.MemVal, RTxn: m.RTxn}, cfg.QueueDepth)
 		case DS:
 			if m.Type == MUpg && h.Shr&bit(int8(req)) == 0 {
-				return s.send(home, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+				return s.send(home, req, Msg{Type: MNack, Line: m.Line, RTxn: m.RTxn}, cfg.QueueDepth)
 			}
 			detectorWrite(h, req)
 			sharers := h.Shr &^ bit(int8(req))
@@ -770,24 +756,24 @@ func homeRequest(cfg Config, s *State, src int, m Msg) bool {
 				h.Dir = DD
 				h.Owner = int8(req)
 				h.OwnTxn = m.RTxn
-				for j := 0; j < len(s.N); j++ {
+				for j := 0; j < s.nodes(); j++ {
 					if sharers&bit(int8(j)) != 0 {
-						if !s.send(home, j, Msg{Type: MInval, Req: m.Req, RTxn: m.RTxn}, cfg.QueueDepth) {
+						if !s.send(home, j, Msg{Type: MInval, Line: m.Line, Req: m.Req, RTxn: m.RTxn}, cfg.QueueDepth) {
 							return false
 						}
 					}
 				}
 				return s.send(home, req, Msg{
-					Type: MDele, Val: h.MemVal, Acks: acks, Shr: sharers, RTxn: m.RTxn,
+					Type: MDele, Line: m.Line, Val: h.MemVal, Acks: acks, Shr: sharers, RTxn: m.RTxn,
 				}, cfg.QueueDepth)
 			}
 			h.Dir = DE
 			h.Owner = int8(req)
 			h.OwnTxn = m.RTxn
 			h.Shr = sharers // §2.4.2: old sharing vector preserved
-			for j := 0; j < len(s.N); j++ {
+			for j := 0; j < s.nodes(); j++ {
 				if sharers&bit(int8(j)) != 0 {
-					if !s.send(home, j, Msg{Type: MInval, Req: m.Req, RTxn: m.RTxn}, cfg.QueueDepth) {
+					if !s.send(home, j, Msg{Type: MInval, Line: m.Line, Req: m.Req, RTxn: m.RTxn}, cfg.QueueDepth) {
 						return false
 					}
 				}
@@ -796,17 +782,17 @@ func homeRequest(cfg Config, s *State, src int, m Msg) bool {
 			if m.Type == MUpg {
 				t = MUpgAck
 			}
-			return s.send(home, req, Msg{Type: t, Val: h.MemVal, Acks: acks, RTxn: m.RTxn}, cfg.QueueDepth)
+			return s.send(home, req, Msg{Type: t, Line: m.Line, Val: h.MemVal, Acks: acks, RTxn: m.RTxn}, cfg.QueueDepth)
 		case DE:
 			if m.Type == MUpg || int(h.Owner) == req {
-				return s.send(home, req, Msg{Type: MNack, RTxn: m.RTxn}, cfg.QueueDepth)
+				return s.send(home, req, Msg{Type: MNack, Line: m.Line, RTxn: m.RTxn}, cfg.QueueDepth)
 			}
 			detectorWrite(h, req)
 			h.Dir = DBX
 			h.Pend = int8(req)
 			h.PendX = true
 			h.PendTxn = m.RTxn
-			return s.send(home, int(h.Owner), Msg{Type: MXferReq, Req: m.Req, RTxn: m.RTxn, GEp: h.OwnTxn}, cfg.QueueDepth)
+			return s.send(home, int(h.Owner), Msg{Type: MXferReq, Line: m.Line, Req: m.Req, RTxn: m.RTxn, GEp: h.OwnTxn}, cfg.QueueDepth)
 		}
 	}
 	panic("mcheck: homeRequest unhandled")
@@ -823,7 +809,7 @@ func detectorWrite(h *Home, req int) {
 }
 
 func deliverWriteback(cfg Config, s *State, src int, m Msg) bool {
-	h := &s.H
+	h := &s.H[m.Line]
 	switch {
 	case h.Dir == DE && int(h.Owner) == src:
 		h.MemVal = m.Val
@@ -836,7 +822,7 @@ func deliverWriteback(cfg Config, s *State, src int, m Msg) bool {
 		pend := h.Pend
 		h.Shr = bit(pend)
 		h.Pend = -1
-		return s.send(home, int(pend), Msg{Type: MSRep, Val: h.MemVal, RTxn: h.PendTxn}, cfg.QueueDepth)
+		return s.send(home, int(pend), Msg{Type: MSRep, Line: m.Line, Val: h.MemVal, RTxn: h.PendTxn}, cfg.QueueDepth)
 	case h.Dir == DBX && int(h.Owner) == src:
 		h.MemVal = m.Val
 		h.Dir = DE
@@ -845,7 +831,7 @@ func deliverWriteback(cfg Config, s *State, src int, m Msg) bool {
 		h.OwnTxn = h.PendTxn
 		h.Shr = 0
 		h.Pend = -1
-		return s.send(home, int(pend), Msg{Type: MXRep, Val: h.MemVal, RTxn: h.PendTxn}, cfg.QueueDepth)
+		return s.send(home, int(pend), Msg{Type: MXRep, Line: m.Line, Val: h.MemVal, RTxn: h.PendTxn}, cfg.QueueDepth)
 	case h.Dir == DBX && int(h.Pend) == src:
 		// The new owner's writeback beat the old owner's TransferAck:
 		// ownership came and went; the stale ack is dropped by txn.
@@ -856,4 +842,23 @@ func deliverWriteback(cfg Config, s *State, src int, m Msg) bool {
 		return true
 	}
 	panic(fmt.Sprintf("mcheck: writeback from %d in dir %s owner %d", src, h.Dir, h.Owner))
+}
+
+// canIssue reports whether node i may issue another request: under its
+// per-node budget and, when Config.MaxTotalIssues is set, under the global
+// budget shared by all nodes.
+func canIssue(cfg Config, s *State, i int) bool {
+	if s.Iss[i] >= cfg.MaxIssues {
+		return false
+	}
+	if cfg.MaxTotalIssues > 0 {
+		var tot int8
+		for _, v := range s.Iss {
+			tot += v
+		}
+		if tot >= cfg.MaxTotalIssues {
+			return false
+		}
+	}
+	return true
 }

@@ -2,6 +2,7 @@ package msg
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -318,4 +319,76 @@ func TestMessageString(t *testing.T) {
 	if m.String() == "" {
 		t.Fatal("empty String()")
 	}
+}
+
+// TestNotSingletonErrorPaths pins every way Single can reject a vector —
+// empty, two bits in one word, one bit in each of two words (the
+// cross-word n != None branch), and multi-bit words beyond word 0 where
+// the fast scan never looks — plus the error text operators grep for.
+func TestNotSingletonErrorPaths(t *testing.T) {
+	cases := []struct {
+		v       Vector
+		members int
+	}{
+		{Vector{}, 0},
+		{Vector{}.Set(1).Set(2), 2},              // two bits, word 0
+		{Vector{}.Set(70).Set(71), 2},            // two bits, word 1 only
+		{Vector{}.Set(1).Set(130), 2},            // one bit per word, cross-word
+		{Vector{}.Set(63).Set(64).Set(200), 3},   // straddles three words
+		{Vector{}.Set(192).Set(193).Set(255), 3}, // all in the last word
+	}
+	for _, tc := range cases {
+		n, err := tc.v.Single()
+		if err == nil {
+			t.Fatalf("Single(%v) = %d, nil; want *NotSingletonError", tc.v, n)
+		}
+		var nse *NotSingletonError
+		if !errors.As(err, &nse) {
+			t.Fatalf("Single(%v) error %T, want *NotSingletonError", tc.v, err)
+		}
+		if nse.V != tc.v {
+			t.Fatalf("error carries vector %v, want %v", nse.V, tc.v)
+		}
+		if got := nse.V.Count(); got != tc.members {
+			t.Fatalf("error vector %v has %d members, want %d", nse.V, got, tc.members)
+		}
+		msg := err.Error()
+		for _, frag := range []string{
+			fmt.Sprintf("has %d members", tc.members),
+			"want exactly one",
+			fmt.Sprint(tc.v.Nodes()),
+		} {
+			if !strings.Contains(msg, frag) {
+				t.Fatalf("error %q missing %q", msg, frag)
+			}
+		}
+		// A wrapped chain still exposes the typed error.
+		wrapped := fmt.Errorf("directory corrupt: %w", err)
+		nse = nil
+		if !errors.As(wrapped, &nse) || nse.V != tc.v {
+			t.Fatalf("errors.As through a wrap lost the typed error for %v", tc.v)
+		}
+	}
+}
+
+// TestVectorOnlySlowPathPanic covers Only's non-fast path: a member
+// outside word 0 skips the single-word fast return and must still
+// resolve via Single — and a multi-word violation must panic with the
+// call-site context.
+func TestVectorOnlySlowPathPanic(t *testing.T) {
+	if got := (Vector{}.Set(200)).Only("upper word"); got != 200 {
+		t.Fatalf("Only on upper-word singleton = %d, want 200", got)
+	}
+	defer func() {
+		s, ok := recover().(string)
+		if !ok {
+			t.Fatalf("recover() = %T, want string panic", s)
+		}
+		for _, frag := range []string{"slow path site", "2 members"} {
+			if !strings.Contains(s, frag) {
+				t.Fatalf("panic %q missing %q", s, frag)
+			}
+		}
+	}()
+	Vector{}.Set(70).Set(200).Only("slow path site")
 }

@@ -1,0 +1,194 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"pccsim/internal/mcheck"
+)
+
+// MCheckReport is the schema of BENCH_pr9.json: the model checker's
+// state-exploration throughput record on the 3-node × 2-line benchmark
+// configuration. Like the shard record, speedups are honest host
+// measurements — CPUs is part of the record, and the check gate treats
+// wall-clock scaling as informational on hosts without cores. The
+// correctness columns (exact serial/engine state-count equality, the
+// canonical-reduction factor) gate unconditionally.
+type MCheckReport struct {
+	Config    string       `json:"config"`
+	GoVersion string       `json:"go_version"`
+	CPUs      int          `json:"cpus"`
+	Timestamp string       `json:"timestamp"`
+	Cells     []MCheckCell `json:"cells"`
+}
+
+// MCheckCell is one exploration measurement. Mode "serial-map" is the
+// pre-PR reference checker (map-keyed visited set, no symmetry
+// reduction); "engine" is the work-stealing engine. NoCanon engine cells
+// must match the serial baseline state-for-state (MatchesSerial); the
+// canonical cell instead records how far symmetry reduction shrinks the
+// space (Reduction = serial states / canonical states).
+type MCheckCell struct {
+	Mode          string  `json:"mode"`
+	Workers       int     `json:"workers,omitempty"`
+	Canonical     bool    `json:"canonical,omitempty"`
+	States        int     `json:"states"`
+	Transitions   int     `json:"transitions"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	StatesPerSec  float64 `json:"states_per_sec"`
+	DedupRatio    float64 `json:"dedup_ratio"`
+	PeakFrontier  int     `json:"peak_frontier"`
+	Speedup       float64 `json:"speedup_vs_serial,omitempty"`
+	MatchesSerial bool    `json:"matches_serial,omitempty"`
+	Reduction     float64 `json:"canonical_reduction,omitempty"`
+}
+
+// MCheckWorkerCounts is the engine sweep the committed baseline covers.
+func MCheckWorkerCounts() []int { return []int{1, 2, 4} }
+
+func mcheckCell(mode string, res *mcheck.Result, wall time.Duration) MCheckCell {
+	dedup := 0.0
+	if res.Transitions > 0 {
+		dedup = float64(res.DedupHits) / float64(res.Transitions)
+	}
+	return MCheckCell{
+		Mode:         mode,
+		Workers:      res.Workers,
+		States:       res.States,
+		Transitions:  res.Transitions,
+		WallSeconds:  wall.Seconds(),
+		StatesPerSec: float64(res.States) / wall.Seconds(),
+		DedupRatio:   dedup,
+		PeakFrontier: res.PeakFrontier,
+	}
+}
+
+// RunMCheckBench measures state-exploration throughput on the benchmark
+// configuration: the serial map-based checker as the baseline, the
+// engine without symmetry reduction at each worker count (state counts
+// must match the serial checker exactly — that equality is what licenses
+// comparing their throughput), and one canonical engine run recording
+// the symmetry-reduction factor.
+func RunMCheckBench(workerCounts []int, log io.Writer) (*MCheckReport, error) {
+	if log == nil {
+		log = io.Discard
+	}
+	cfg := mcheck.BenchConfig()
+	rep := &MCheckReport{
+		Config: fmt.Sprintf("%dn x %dl w=%d q=%d det=%d iss=%d tot=%d delegation=%v",
+			cfg.Nodes, cfg.Lines, cfg.MaxWrites, cfg.QueueDepth, cfg.DetThresh, cfg.MaxIssues, cfg.MaxTotalIssues, cfg.Delegation),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	t0 := time.Now()
+	serial := mcheck.ExploreSerial(cfg, 0)
+	serialWall := time.Since(t0)
+	if !serial.Ok() {
+		return nil, fmt.Errorf("bench config fails verification: %s", serial)
+	}
+	sc := mcheckCell("serial-map", serial, serialWall)
+	sc.Workers = 0
+	fmt.Fprintf(log, "pccperf: mcheck serial-map         %8d states in %-10v %9.0f states/s\n",
+		sc.States, serialWall.Round(time.Millisecond), sc.StatesPerSec)
+	rep.Cells = append(rep.Cells, sc)
+
+	for _, w := range workerCounts {
+		t0 = time.Now()
+		res := mcheck.ExploreOpts(cfg, mcheck.Options{Workers: w, NoCanon: true})
+		wall := time.Since(t0)
+		cell := mcheckCell("engine", res, wall)
+		cell.MatchesSerial = res.States == serial.States && res.Transitions == serial.Transitions
+		cell.Speedup = serialWall.Seconds() / wall.Seconds()
+		fmt.Fprintf(log, "pccperf: mcheck engine w=%-2d        %8d states in %-10v %9.0f states/s speedup=%.2f match=%v\n",
+			w, cell.States, wall.Round(time.Millisecond), cell.StatesPerSec, cell.Speedup, cell.MatchesSerial)
+		rep.Cells = append(rep.Cells, cell)
+	}
+
+	t0 = time.Now()
+	canon := mcheck.ExploreOpts(cfg, mcheck.Options{Workers: 1})
+	wall := time.Since(t0)
+	cc := mcheckCell("engine", canon, wall)
+	cc.Canonical = true
+	cc.Reduction = float64(serial.States) / float64(canon.States)
+	fmt.Fprintf(log, "pccperf: mcheck engine canonical   %8d states in %-10v %9.0f states/s reduction=%.2fx\n",
+		cc.States, wall.Round(time.Millisecond), cc.StatesPerSec, cc.Reduction)
+	rep.Cells = append(rep.Cells, cc)
+	return rep, nil
+}
+
+// CheckMCheck is the model-checker gate for bench-smoke: a reduced run
+// (serial baseline, engine at 2 workers without reduction, one canonical
+// run) whose engine state counts MUST equal the serial checker's, whose
+// canonical state count MUST equal the committed baseline's (worker
+// counts must never change what is explored), and whose states/s must
+// stay within the tolerance factor of the baseline's matching cell.
+// Speedup is informational for the same reason as the shard gate: this
+// runs on arbitrary CI hosts.
+func CheckMCheck(path string, tol float64, log io.Writer) bool {
+	if log == nil {
+		log = io.Discard
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(log, "pccperf:", err)
+		return false
+	}
+	var base MCheckReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(log, "pccperf: %s: %v\n", path, err)
+		return false
+	}
+	baseCell := func(mode string, canonical bool) *MCheckCell {
+		for i := range base.Cells {
+			if base.Cells[i].Mode == mode && base.Cells[i].Canonical == canonical {
+				return &base.Cells[i]
+			}
+		}
+		return nil
+	}
+
+	rep, err := RunMCheckBench([]int{2}, log)
+	if err != nil {
+		fmt.Fprintln(log, "pccperf:", err)
+		return false
+	}
+	ok := true
+	for _, c := range rep.Cells {
+		name := c.Mode
+		if c.Canonical {
+			name = "engine-canonical"
+		}
+		if c.Mode == "engine" && !c.Canonical && !c.MatchesSerial {
+			fmt.Fprintf(log, "pccperf: check %-16s FAIL: engine state counts diverge from the serial checker\n", name)
+			ok = false
+		}
+		want := baseCell(c.Mode, c.Canonical)
+		if want == nil {
+			fmt.Fprintf(log, "pccperf: check %-16s baseline cell missing; skipped\n", name)
+			continue
+		}
+		if c.States != want.States {
+			fmt.Fprintf(log, "pccperf: check %-16s FAIL: %d states vs baseline %d — exploration changed\n",
+				name, c.States, want.States)
+			ok = false
+		}
+		if want.StatesPerSec > 0 && c.StatesPerSec < want.StatesPerSec/tol {
+			fmt.Fprintf(log, "pccperf: check %-16s FAIL: %.0f states/s vs baseline %.0f (< 1/%.1fx)\n",
+				name, c.StatesPerSec, want.StatesPerSec, tol)
+			ok = false
+		} else {
+			fmt.Fprintf(log, "pccperf: check %-16s ok: %.0f states/s vs baseline %.0f\n",
+				name, c.StatesPerSec, want.StatesPerSec)
+		}
+	}
+	if ok {
+		fmt.Fprintf(log, "pccperf: check-mcheck OK against %s (tolerance %.1fx)\n", path, tol)
+	}
+	return ok
+}

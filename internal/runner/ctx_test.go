@@ -153,6 +153,48 @@ func TestAttachObserves(t *testing.T) {
 	}
 }
 
+// TestRunCtxCancelMidBatch pins the batch-cancel contract: cancelling
+// mid-batch interrupts the cell currently simulating and fails the jobs
+// not yet dispatched with the context error, so a long experiment batch
+// stops within one cell's interrupt latency.
+func TestRunCtxCancelMidBatch(t *testing.T) {
+	r := New(1, nil) // one worker => strictly sequential dispatch
+	ctx, cancel := context.WithCancel(context.Background())
+	first := slowJob("first")
+	first.Attach = func(*node.Machine) { cancel() } // fires as cell 0 starts
+	jobs := []Job{
+		first,
+		testJob("second", baseCfg()),
+		testJob("third", baseCfg()),
+	}
+	res, err := r.RunCtx(ctx, jobs)
+	if err == nil {
+		t.Fatal("cancelled batch returned nil error")
+	}
+	if !errors.Is(err, sim.ErrInterrupted) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch error = %v, want interrupt or context.Canceled", err)
+	}
+	for i, st := range res {
+		if st != nil {
+			t.Fatalf("job %d produced stats after mid-batch cancel", i)
+		}
+	}
+	// The runner survives the cancel: the same batch on a live context
+	// simulates everything (the interrupted cell was forgotten, not
+	// poisoned).
+	res, err = r.RunCtx(context.Background(), []Job{
+		slowJob("first"), testJob("second", baseCfg()), testJob("third", baseCfg()),
+	})
+	if err != nil {
+		t.Fatalf("resubmitted batch: %v", err)
+	}
+	for i, st := range res {
+		if st == nil || st.ExecCycles == 0 {
+			t.Fatalf("resubmitted job %d has empty stats", i)
+		}
+	}
+}
+
 func TestRunOneCtxDeadlineNoFire(t *testing.T) {
 	// A context that expires long after the run finishes must not
 	// perturb anything — the watcher goroutine exits via the stop chan.

@@ -122,6 +122,17 @@ func (r *Runner) CacheStats() (hits, misses uint64) { return r.cells.stats() }
 // failed job by submission order, wrapped with that job's label; the
 // returned slice holds nil at failed positions.
 func (r *Runner) Run(jobs []Job) ([]*stats.Stats, error) {
+	return r.RunCtx(context.Background(), jobs)
+}
+
+// RunCtx is Run under a context. Cancelling ctx interrupts the cells
+// currently simulating (cooperatively, via each machine's interrupt
+// flag — see RunOneCtx) and fails jobs not yet dispatched with ctx.Err()
+// instead of simulating them, so a large experiment batch stops within
+// one cell's interrupt latency rather than running to completion. The
+// earliest error by submission order — which after a cancel may be a
+// ctx.Err() — is returned wrapped with that job's label.
+func (r *Runner) RunCtx(ctx context.Context, jobs []Job) ([]*stats.Stats, error) {
 	results := make([]*stats.Stats, len(jobs))
 	errs := make([]error, len(jobs))
 
@@ -140,7 +151,11 @@ func (r *Runner) Run(jobs []Job) ([]*stats.Stats, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i], errs[i] = r.exec(jobs[i])
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], _, errs[i] = r.RunOneCtx(ctx, jobs[i])
 			}
 		}()
 	}
@@ -161,7 +176,8 @@ func (r *Runner) Run(jobs []Job) ([]*stats.Stats, error) {
 // RunOne executes a single job through the memo (a convenience for
 // callers outside a batch).
 func (r *Runner) RunOne(job Job) (*stats.Stats, error) {
-	return r.exec(job)
+	st, _, err := r.RunOneCtx(context.Background(), job)
+	return st, err
 }
 
 // RunOneCtx executes a single job through the memo under a context.
@@ -193,21 +209,6 @@ func (r *Runner) RunOneCtx(ctx context.Context, job Job) (st *stats.Stats, cache
 	}
 	close(c.done)
 	return c.st, false, c.err
-}
-
-// exec resolves one job through the memo, simulating on a miss.
-func (r *Runner) exec(job Job) (*stats.Stats, error) {
-	key := Fingerprint(job.Cfg, job.Workload.Name, job.Params)
-	c, owned := r.cells.claim(key)
-	if !owned {
-		<-c.done // another worker may still be simulating this cell
-		r.notify(Event{Label: job.Label, Fingerprint: key, Done: true,
-			Cached: true, Err: c.err})
-		return c.st, c.err
-	}
-	c.st, c.steps, c.err = r.simulate(context.Background(), job, key)
-	close(c.done)
-	return c.st, c.err
 }
 
 // simulate runs one cell on a private machine, threading the progress

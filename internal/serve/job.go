@@ -225,8 +225,9 @@ type experimentSpec struct {
 
 // execExperiment runs one figure/table through a throwaway Session on the
 // server's shared runner: every cell an earlier request already simulated
-// is free. Experiments are batches without per-cell contexts, so they
-// cancel only while queued; once running they complete.
+// is free. The session carries the job's context, so DELETE (and drain
+// timeout) interrupts the cells currently simulating and skips the rest
+// of the batch instead of letting it run to completion.
 func (s *Server) execExperiment(j *Job, sp *experimentSpec) error {
 	if sp.Nodes == 0 {
 		sp.Nodes = 16
@@ -238,7 +239,7 @@ func (s *Server) execExperiment(j *Job, sp *experimentSpec) error {
 		Nodes: sp.Nodes, Scale: sp.Scale, Iters: sp.Iters,
 		Shards: sp.Shards, Deterministic: sp.Deterministic,
 		AdaptiveWindows: sp.AdaptiveWindows,
-	})
+	}).WithContext(j.ctx)
 	var buf bytes.Buffer
 	var err error
 	switch sp.Exp {
