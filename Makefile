@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test smoke soak bench bench-smoke check-mcheck fuzz-smoke fuzz clean
+.PHONY: check vet build test smoke soak bench bench-smoke compare-smoke check-mcheck fuzz-smoke fuzz clean
 
 check: vet build test smoke
 
@@ -36,19 +36,32 @@ bench:
 	$(GO) run ./cmd/pccperf -o BENCH_pr2.json
 	$(GO) run ./cmd/pccperf -shards-sweep -shards-o BENCH_pr8.json
 	$(GO) run ./cmd/pccperf -mcheck-sweep -mcheck-o BENCH_pr9.json
+	$(GO) run ./cmd/pccperf -protocols -protocols-o BENCH_pr10.json
 
 # One-iteration bench smoke for CI: compiles and runs every benchmark
 # once, then gates the engine and suite numbers against the committed
 # baseline (2x tolerance absorbs runner noise; the gate catches hot-loop
 # regressions, not wobbles). The ZeroAlloc pass pins the observability
 # layer's disabled path (and the enabled Emit itself) at 0 allocs/op.
-bench-smoke:
+bench-smoke: compare-smoke
 	$(GO) test -bench=. -benchtime=1x ./internal/sim/... ./internal/network/... ./internal/obs/...
 	$(GO) test -run ZeroAlloc -count=1 ./internal/sim/... ./internal/network/... \
 		./internal/addrtab/... ./internal/obs/...
 	$(GO) run ./cmd/pccperf -check BENCH_pr2.json
 	$(GO) run ./cmd/pccperf -check-shards BENCH_pr8.json
 	$(GO) run ./cmd/pccperf -check-mcheck BENCH_pr9.json
+	$(GO) run ./cmd/pccperf -check-protocols BENCH_pr10.json
+
+# The protocol bake-off gate: the -compare table and the fig9/fig10
+# sweeps must reproduce the committed goldens byte for byte — the
+# fig9/fig10 diffs prove the paper's protocol is unchanged behind the
+# plugin interface, the compare diff pins every contender. (Output is
+# worker-count invariant, so -parallel only affects wall time.)
+compare-smoke:
+	$(GO) run ./cmd/pccbench -compare -format csv -parallel 4 | diff -u testdata/compare.golden.csv -
+	$(GO) run ./cmd/pccbench -exp fig9 -format csv -parallel 4 | diff -u testdata/fig9.golden.csv -
+	$(GO) run ./cmd/pccbench -exp fig10 -format csv -parallel 4 | diff -u testdata/fig10.golden.csv -
+	@echo "compare-smoke: goldens reproduced byte-identically"
 
 # The model-checker gate: worker-count invariance and litmus equivalence
 # under the race detector, the corpus counterexamples replayed, and the
@@ -62,6 +75,8 @@ check-mcheck:
 # fuzz is the long campaign the nightly workflow runs.
 fuzz-smoke:
 	$(GO) run -race ./cmd/pccfuzz -seed 1 -n 500 -t 2m -o fuzz-failures
+	$(GO) run -race ./cmd/pccfuzz -seed 2 -n 100 -t 1m -protocol hybrid -o fuzz-failures
+	$(GO) run -race ./cmd/pccfuzz -seed 3 -n 100 -t 1m -protocol dsi -o fuzz-failures
 
 fuzz:
 	$(GO) run -race ./cmd/pccfuzz -seed $$(date +%Y%m%d) -t 20m -n 0 -o fuzz-failures

@@ -28,16 +28,18 @@ import (
 	"pccsim/internal/core"
 	"pccsim/internal/harness"
 	"pccsim/internal/perf"
+	"pccsim/internal/protocol"
 	"pccsim/internal/runner"
 )
 
 // csvExperiments lists the experiments with a CSV writer, in the
 // experiment index's order.
-var csvExperiments = []string{"table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation"}
+var csvExperiments = []string{"table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "compare"}
 
 func main() {
 	fs := flag.NewFlagSet("pccbench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment: table1|table2|table3|fig7|fig8|fig9|fig10|fig11|fig12|ablation|extensions|related|all")
+	exp := fs.String("exp", "all", "experiment: table1|table2|table3|fig7|fig8|fig9|fig10|fig11|fig12|ablation|extensions|related|compare|all")
+	compare := fs.Bool("compare", false, "shorthand for -exp compare: the head-to-head protocol bake-off")
 	mcheckBench := fs.Bool("mcheck", false, "benchmark the model checker's exploration engine instead of running experiments")
 	nodes := fs.Int("nodes", 16, "processor count")
 	scale := fs.Int("scale", 1, "workload problem-size multiplier")
@@ -52,8 +54,12 @@ func main() {
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	traceOut := fs.String("trace-out", "", "also run one observed cell and write a Perfetto trace to this file")
 	traceWl := fs.String("trace-workload", "em3d", "workload of the observed cell (-trace-out)")
+	protoName := fs.String("protocol", "", "coherence protocol of the observed cell (-trace-out); mechanisms degrade to the protocol's capabilities (default adaptive)")
 	if err := cli.Parse(fs, os.Args[1:]); err != nil {
 		fail(err)
+	}
+	if *compare {
+		*exp = "compare"
 	}
 
 	if *cpuprofile != "" {
@@ -82,7 +88,7 @@ func main() {
 	}
 
 	if *traceOut != "" {
-		if err := writeTrace(*traceOut, *traceWl, *nodes, *scale, *iters); err != nil {
+		if err := writeTrace(*traceOut, *traceWl, *protoName, *nodes, *scale, *iters); err != nil {
 			fail(err)
 		}
 	}
@@ -156,6 +162,11 @@ func main() {
 			var rows []harness.AblationRow
 			if rows, err = sess.Ablation(); err == nil {
 				err = harness.WriteAblationCSV(out, rows)
+			}
+		case "compare":
+			var rows []harness.CompareRow
+			if rows, err = sess.Compare(); err == nil {
+				err = harness.WriteCompareCSV(out, rows)
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "pccbench: no CSV writer for experiment %q; csv supports: %s\n",
@@ -252,6 +263,13 @@ func main() {
 			}
 			fmt.Fprintln(out, "== Related work: dynamic self-invalidation vs delegation+updates ==")
 			harness.PrintRelated(out, rows)
+		case "compare":
+			rows, err := sess.Compare()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "== Protocol bake-off: every registered protocol, head to head ==")
+			harness.PrintCompare(out, rows)
 		default:
 			fmt.Fprintf(os.Stderr, "pccbench: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -262,7 +280,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, e := range []string{"table1", "table2", "table3", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "fig12", "ablation", "extensions", "related"} {
+			"fig9", "fig10", "fig11", "fig12", "ablation", "extensions", "related", "compare"} {
 			if err := run(e); err != nil {
 				fail(err)
 			}
@@ -306,13 +324,17 @@ func runMCheckBench(out *os.File) error {
 	return nil
 }
 
-// writeTrace runs one observed cell — the named workload on the paper's
-// 32K-RAC / 32-entry mechanism configuration — and exports its event
-// stream as Perfetto JSON. The observed run is separate from the
-// experiment cells, whose outputs stay byte-identical.
-func writeTrace(path, workloadName string, nodes, scale, iters int) error {
-	cfg := pccsim.DefaultConfig().With(pccsim.WithRAC(32), pccsim.WithDelegation(32),
-		pccsim.WithSpeculativeUpdates(0))
+// writeTrace runs one observed cell — the named workload under the named
+// protocol, on the full mechanism set the protocol's capabilities allow
+// (the paper's 32K-RAC / 32-entry configuration for adaptive) — and
+// exports its event stream as Perfetto JSON. The observed run is separate
+// from the experiment cells, whose outputs stay byte-identical.
+func writeTrace(path, workloadName, protoName string, nodes, scale, iters int) error {
+	p, err := protocol.Lookup(protoName)
+	if err != nil {
+		return err
+	}
+	cfg := harness.CompareConfig(pccsim.DefaultConfig(), p)
 	cfg.Nodes = nodes
 	m, err := pccsim.New(cfg)
 	if err != nil {

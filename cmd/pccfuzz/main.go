@@ -21,10 +21,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"pccsim/internal/cli"
 	"pccsim/internal/fault"
+	"pccsim/internal/protocol"
 )
 
 func main() {
@@ -38,11 +40,18 @@ func main() {
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent cases")
 		shrink  = fs.Int("shrink", 2000, "max re-runs spent shrinking each failure (0 = off)")
 		maxFail = fs.Int("max-failures", 5, "stop after this many failures (0 = no limit)")
+		proto   = fs.String("protocol", "", "pin generation to one protocol: "+strings.Join(protocol.Names(), "|")+" (default: mixed)")
 		verbose = fs.Bool("v", false, "per-case output during replay")
 	)
 	if err := cli.Parse(fs, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "pccfuzz:", err)
 		os.Exit(2)
+	}
+	if *proto != "" {
+		if _, err := protocol.Lookup(*proto); err != nil {
+			fmt.Fprintln(os.Stderr, "pccfuzz:", err)
+			os.Exit(2)
+		}
 	}
 
 	if *replay != "" {
@@ -59,6 +68,7 @@ func main() {
 		Workers:     *workers,
 		ShrinkRuns:  *shrink,
 		MaxFailures: *maxFail,
+		Gen:         fault.GenOpts{Protocol: *proto},
 		Log:         os.Stderr,
 	})
 

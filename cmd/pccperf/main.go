@@ -36,6 +36,9 @@ func main() {
 	mcheckSweep := fs.Bool("mcheck-sweep", false, "run the model-checker exploration-throughput sweep instead of the engine/suite benchmarks")
 	mcheckOut := fs.String("mcheck-o", "BENCH_pr9.json", "with -mcheck-sweep: output file (- for stdout)")
 	checkMCheckFile := fs.String("check-mcheck", "", "gate mode: run a reduced mcheck sweep against this baseline file")
+	protoBench := fs.Bool("protocols", false, "run the per-protocol simulation-cost benchmark instead of the engine/suite benchmarks")
+	protoOut := fs.String("protocols-o", "BENCH_pr10.json", "with -protocols: output file (- for stdout)")
+	checkProtoFile := fs.String("check-protocols", "", "gate mode: run the per-protocol benchmark against this baseline file")
 	if err := cli.Parse(fs, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "pccperf:", err)
 		os.Exit(2)
@@ -65,6 +68,20 @@ func main() {
 	}
 	if *checkMCheckFile != "" {
 		if !perf.CheckMCheck(*checkMCheckFile, *tolerance, os.Stderr) {
+			os.Exit(1)
+		}
+		return
+	}
+	if *protoBench {
+		rep, err := perf.RunProtocolBench(os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccperf:", err)
+			os.Exit(1)
+		}
+		os.Exit(emit(*protoOut, rep))
+	}
+	if *checkProtoFile != "" {
+		if !perf.CheckProtocols(*checkProtoFile, *tolerance, os.Stderr) {
 			os.Exit(1)
 		}
 		return

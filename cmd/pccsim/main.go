@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"pccsim"
+	"pccsim/internal/cli"
 	"pccsim/internal/harness"
 )
 
@@ -41,25 +42,31 @@ func main() {
 		}
 	}
 
-	wl := flag.String("workload", "em3d", "benchmark: "+strings.Join(pccsim.Workloads(), "|"))
-	nodes := flag.Int("nodes", 16, "processor count")
-	scale := flag.Int("scale", 1, "problem-size multiplier")
-	iters := flag.Int("iters", 0, "iteration override (0 = workload default)")
-	racB := flag.Int("rac", 0, "remote access cache size in bytes (0 = none)")
-	deledc := flag.Int("deledc", 0, "delegate cache entries (0 = delegation off)")
-	updates := flag.Bool("updates", false, "enable speculative updates")
-	delay := flag.Uint64("delay", 50, "intervention delay in cycles")
-	hop := flag.Uint64("hop", 100, "network hop latency in cycles")
-	check := flag.Bool("check", false, "enable runtime coherence invariant checks")
-	shards := flag.Int("shards", 0, "engine shards (0 = single engine; >1 runs the parallel scheduler)")
-	deterministic := flag.Bool("deterministic", false, "with -shards: serial round-robin shard scheduler")
-	adaptive := flag.Bool("adaptive-windows", false, "with -shards: widen conservative windows while no cross-shard traffic is in flight (identical results, fewer barriers)")
-	traceN := flag.Int("trace", 0, "dump the last N coherence messages after the run")
-	traceLine := flag.Uint64("trace-line", 0, "restrict tracing to one line address")
-	flag.Parse()
+	fs := flag.NewFlagSet("pccsim", flag.ExitOnError)
+	wl := fs.String("workload", "em3d", "benchmark: "+strings.Join(pccsim.Workloads(), "|"))
+	proto := fs.String("protocol", "", "coherence protocol: "+strings.Join(pccsim.Protocols(), "|")+" (default adaptive)")
+	nodes := fs.Int("nodes", 16, "processor count")
+	scale := fs.Int("scale", 1, "problem-size multiplier")
+	iters := fs.Int("iters", 0, "iteration override (0 = workload default)")
+	racB := fs.Int("rac", 0, "remote access cache size in bytes (0 = none)")
+	deledc := fs.Int("deledc", 0, "delegate cache entries (0 = delegation off)")
+	updates := fs.Bool("updates", false, "enable speculative updates")
+	delay := fs.Uint64("delay", 50, "intervention delay in cycles")
+	hop := fs.Uint64("hop", 100, "network hop latency in cycles")
+	check := fs.Bool("check", false, "enable runtime coherence invariant checks")
+	shards := fs.Int("shards", 0, "engine shards (0 = single engine; >1 runs the parallel scheduler)")
+	deterministic := fs.Bool("deterministic", false, "with -shards: serial round-robin shard scheduler")
+	adaptive := fs.Bool("adaptive-windows", false, "with -shards: widen conservative windows while no cross-shard traffic is in flight (identical results, fewer barriers)")
+	traceN := fs.Int("trace", 0, "dump the last N coherence messages after the run")
+	traceLine := fs.Uint64("trace-line", 0, "restrict tracing to one line address")
+	if err := cli.Parse(fs, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pccsim:", err)
+		os.Exit(2)
+	}
 
 	cfg := pccsim.DefaultConfig()
 	cfg.Nodes = *nodes
+	cfg.Protocol = *proto
 	cfg.RACBytes = *racB
 	cfg.DelegateEntries = *deledc
 	cfg.EnableUpdates = *updates && *racB > 0 && *deledc > 0
@@ -109,6 +116,7 @@ func main() {
 func traceMain(args []string) int {
 	fs := flag.NewFlagSet("pccsim trace", flag.ExitOnError)
 	wl := fs.String("workload", "em3d", "benchmark: "+strings.Join(pccsim.Workloads(), "|"))
+	proto := fs.String("protocol", "", "coherence protocol: "+strings.Join(pccsim.Protocols(), "|")+" (default adaptive)")
 	out := fs.String("out", "-", "output file (- = stdout)")
 	nodes := fs.Int("nodes", 16, "processor count")
 	scale := fs.Int("scale", 1, "problem-size multiplier")
@@ -120,10 +128,14 @@ func traceMain(args []string) int {
 	window := fs.Int("window", 1<<18, "event-window capacity (-1 = retain everything)")
 	shards := fs.Int("shards", 0, "engine shards (0 = single engine; >1 runs the parallel scheduler)")
 	deterministic := fs.Bool("deterministic", false, "with -shards: serial round-robin shard scheduler")
-	fs.Parse(args)
+	if err := cli.Parse(fs, args); err != nil {
+		fmt.Fprintln(os.Stderr, "pccsim trace:", err)
+		return 2
+	}
 
 	cfg := pccsim.DefaultConfig()
 	cfg.Nodes = *nodes
+	cfg.Protocol = *proto
 	cfg.RACBytes = *racKB * 1024
 	cfg.DelegateEntries = *deledc
 	cfg.EnableUpdates = *updates && *racKB > 0 && *deledc > 0

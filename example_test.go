@@ -2,6 +2,7 @@ package pccsim_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"log"
 
@@ -65,6 +66,33 @@ func ExampleNew() {
 	// Output:
 	// producer-consumer lines detected: 1
 	// delegations: 1
+}
+
+func ExampleWithProtocol() {
+	// The directory's sharing policy is pluggable: the same program runs
+	// under the paper's adaptive protocol (the default) or any other
+	// registered protocol. "hybrid" pushes updates to stable sharer sets
+	// instead of invalidating them.
+	fmt.Println("protocols:", pccsim.Protocols())
+
+	cfg := pccsim.DefaultConfig().With(pccsim.WithProtocol("hybrid"))
+	cfg.Nodes = 4
+	m, err := pccsim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := m.Run(pcProgram(4, 12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("updates pushed:", st.UpdatesSent > 0)
+
+	_, err = pccsim.New(pccsim.DefaultConfig(), pccsim.WithProtocol("mosi"))
+	fmt.Println("unknown protocol:", errors.Is(err, pccsim.ErrUnknownProtocol))
+	// Output:
+	// protocols: [adaptive dsi hybrid mesi]
+	// updates pushed: true
+	// unknown protocol: true
 }
 
 func ExampleNewProgram() {

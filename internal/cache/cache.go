@@ -32,6 +32,11 @@ type Line struct {
 	Dirty   bool
 	Version uint64 // abstract data value for runtime invariant checks
 	Grant   uint64 // ownership epoch of an Excl copy (msg.Message.GrantTxn)
+	// Streak counts consecutive pushed updates applied to this copy
+	// since the last local read (the hybrid update/invalidate
+	// protocol's sharer-stability test; always 0 elsewhere). Insert
+	// resets it: a fresh fill starts a fresh streak.
+	Streak  uint8
 	lastUse uint64
 }
 

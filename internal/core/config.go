@@ -12,6 +12,7 @@ import (
 
 	"pccsim/internal/msg"
 	"pccsim/internal/network"
+	"pccsim/internal/protocol"
 	"pccsim/internal/sim"
 )
 
@@ -20,6 +21,13 @@ import (
 type Config struct {
 	// Nodes is the number of processor/hub nodes (the paper models 16).
 	Nodes int
+
+	// Protocol selects the registered coherence protocol by name; the
+	// empty string selects the default (the paper's "adaptive"
+	// protocol). Validate resolves the name and rejects configurations
+	// that enable a mechanism the protocol's capabilities do not cover
+	// (see internal/protocol).
+	Protocol string
 
 	// L1 data cache geometry (Table 1: 2-way, 32 KB, 32 B lines).
 	L1Bytes, L1Ways, L1LineBytes int
@@ -218,6 +226,14 @@ func WithAdaptiveDelay() Option {
 	return func(c *Config) { c.AdaptiveDelay = true }
 }
 
+// WithProtocol selects a registered coherence protocol by name (see
+// internal/protocol; the empty name keeps the default "adaptive").
+// Validate rejects unknown names and mechanism settings outside the
+// protocol's capabilities.
+func WithProtocol(name string) Option {
+	return func(c *Config) { c.Protocol = name }
+}
+
 // WithShards partitions the machine into n engine shards executed on
 // worker goroutines (the fast scheduler). n <= 1 keeps the classic
 // single engine; n must not exceed Nodes.
@@ -305,7 +321,35 @@ func (c *Config) Validate() error {
 	if c.Shards < 0 || c.Shards > c.Nodes {
 		return fmt.Errorf("%w: Shards = %d, want 0..Nodes (%d)", ErrBadConfig, c.Shards, c.Nodes)
 	}
+	proto, err := protocol.Lookup(c.Protocol)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrBadConfig, err)
+	}
+	caps := proto.Capabilities()
+	if c.DelegateEntries > 0 && !caps.Delegation {
+		return fmt.Errorf("%w: protocol %q does not support delegation (DelegateEntries = %d)",
+			ErrBadConfig, proto.Name(), c.DelegateEntries)
+	}
+	if c.EnableUpdates && !caps.SpeculativeUpdates {
+		return fmt.Errorf("%w: protocol %q does not support speculative updates", ErrBadConfig, proto.Name())
+	}
+	if c.SelfInvalidate && !caps.SelfInvalidation {
+		return fmt.Errorf("%w: protocol %q does not support self-invalidation", ErrBadConfig, proto.Name())
+	}
+	if c.AdaptiveDelay && !caps.AdaptiveDelay {
+		return fmt.Errorf("%w: protocol %q does not support the adaptive intervention delay", ErrBadConfig, proto.Name())
+	}
 	return nil
+}
+
+// protocolImpl resolves the configured protocol; it must only be called
+// after a successful Validate.
+func (c *Config) protocolImpl() protocol.Protocol {
+	p, err := protocol.Lookup(c.Protocol)
+	if err != nil {
+		panic(err) // unreachable after Validate
+	}
+	return p
 }
 
 // consumerEntries resolves the consumer-table size.

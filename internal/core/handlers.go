@@ -76,6 +76,12 @@ func (h *Hub) handle(m *msg.Message) bool {
 		}
 	case msg.Update:
 		h.consumerUpdate(m)
+	case msg.UpdateData:
+		h.hybridUpdateData(m)
+	case msg.UpdateAck:
+		h.homeUpdateAck(m)
+	case msg.UpdateGrant:
+		h.hybridUpdateGrant(m)
 	default:
 		panic(fmt.Sprintf("core: node %d cannot dispatch %s", h.id, m))
 	}
@@ -322,6 +328,90 @@ func (h *Hub) consumerUpdate(m *msg.Message) {
 	rl.Version = m.Version
 	rl.FromUpdate = true
 	h.handleRACVictim(rv)
+}
+
+// hybridUpdateData applies a hybrid update push at a sharer and
+// acknowledges to the home, reporting whether this node still holds a
+// copy. Every delivery acks exactly once — the home's round accounting
+// (directory.Entry.UpdatesInFlight) depends on it.
+func (h *Hub) hybridUpdateData(m *msg.Message) {
+	if ms := h.mshr(m.Addr); ms != nil {
+		if !ms.wantExcl {
+			// A pending read: the push is the response, and the
+			// freshest one — a data reply racing it carries an older
+			// version and is dropped by its transaction number.
+			h.noteUpdateUseful(m.Addr, m.Version)
+			ms.dataReady = true
+			ms.version = m.Version
+			ms.fillState = cache.Shared
+			if ms.acksNeeded < 0 {
+				ms.acksNeeded = 0
+			}
+			h.hybridAck(m, true)
+			h.tryComplete(ms)
+			return
+		}
+		// A pending write that lost the race to this round: refresh the
+		// stashed copy a later grant would complete against.
+		if m.Version > ms.upgVer {
+			ms.upgVer = m.Version
+		}
+	}
+	kept := false
+	if l2l := h.l2.Lookup(m.Addr); l2l != nil && l2l.State == cache.Shared {
+		if m.Version > l2l.Version {
+			l2l.Version = m.Version
+			l2l.Streak++
+		}
+		if limit := h.proto.UpdateStreakLimit(); limit > 0 && int(l2l.Streak) >= limit {
+			// Nothing between these pushes was read locally: this node
+			// is not consuming the line. Self-invalidate and leave the
+			// update set, degrading the line back toward
+			// write-invalidate for us.
+			h.st.UpdatesWasted += uint64(l2l.Streak)
+			h.l1.InvalidateRange(m.Addr, h.cfg.L2LineBytes)
+			h.l2.Invalidate(m.Addr)
+		} else {
+			kept = true
+		}
+	} else if h.rc != nil {
+		if rl := h.rc.Lookup(m.Addr); rl != nil && !rl.Pinned {
+			// A victim-cached copy: drop it with the presence bit
+			// rather than track streaks in the RAC — keeping it stale
+			// after the bit clears would orphan it.
+			rv := h.rc.Invalidate(m.Addr)
+			if rv.FromUpdate && !rv.Consumed {
+				h.noteUpdateWasted(m.Addr)
+			}
+		}
+	}
+	h.hybridAck(m, kept)
+}
+
+// hybridAck acknowledges a hybrid update push to the home.
+func (h *Hub) hybridAck(m *msg.Message, kept bool) {
+	h.emit(msg.Message{
+		Type: msg.UpdateAck, Src: h.id, Dst: m.Src, Addr: m.Addr,
+		Requester: m.Requester, Txn: m.Txn, Kept: kept,
+	})
+}
+
+// hybridUpdateGrant completes the writer's hybrid shared write: the
+// store already committed at the home, so the fill is a clean Shared
+// copy of the new version — no local store, no ownership epoch.
+func (h *Hub) hybridUpdateGrant(m *msg.Message) {
+	ms := h.mshr(m.Addr)
+	if ms == nil || ms.txn != m.Txn {
+		return
+	}
+	ms.updateWrite = true
+	ms.dataReady = true
+	ms.version = m.Version
+	ms.fillState = cache.Shared
+	if ms.acksNeeded < 0 {
+		ms.acksNeeded = 0
+	}
+	h.tryComplete(ms)
 }
 
 // updateDelivered retires one in-flight update push (link-level, see

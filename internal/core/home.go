@@ -8,6 +8,7 @@ import (
 	"pccsim/internal/msg"
 	"pccsim/internal/obs"
 	"pccsim/internal/predictor"
+	"pccsim/internal/protocol"
 	"pccsim/internal/sim"
 )
 
@@ -73,6 +74,14 @@ func (h *Hub) homeRead(req *msg.Message, e *directory.Entry, det *predictor.Dete
 			Requester: req.Requester, Version: e.MemVersion, Txn: req.Txn,
 		})
 	case directory.Shared:
+		if h.caps.HybridUpdates && e.UpdatesInFlight > 0 {
+			// A hybrid update round is settling: an ack that drops a
+			// sharer must not cross a re-read installing a fresh copy
+			// (the cleared presence bit would orphan that copy), so
+			// reads wait out the round like writes do.
+			h.nack(req, false)
+			return
+		}
 		det.OnRead(req.Requester)
 		e.Sharers = e.Sharers.Set(req.Requester)
 		h.emitAfter(h.cfg.DirLatency+h.cfg.DRAMLatency, msg.Message{
@@ -149,9 +158,24 @@ func (h *Hub) homeWrite(req *msg.Message, e *directory.Entry, det *predictor.Det
 			h.st.RecordConsumers(sharers.Count())
 		}
 
-		// Delegation decision (§2.3.1): a stable producer-consumer
-		// pattern with a remote producer hands the directory to it.
-		if h.cfg.DelegateEntries > 0 && det.IsProducerConsumer() && req.Requester != h.id {
+		// The registered protocol decides the shared-write flow. The
+		// paper's adaptive protocol returns Delegate under exactly the
+		// §2.3.1 rule this FSM hard-wired before the plugin interface
+		// (a stable producer-consumer pattern with a remote producer
+		// hands the directory to it); mesi/dsi always invalidate; the
+		// hybrid protocol pushes updates to stable sharers.
+		decision := h.proto.SharedWrite(protocol.WriteView{
+			Entry: e, Requester: req.Requester, Home: h.id, Targets: sharers,
+			IsPC: det.IsProducerConsumer(), DelegationOn: h.cfg.DelegateEntries > 0,
+		})
+
+		if decision == protocol.PushUpdates {
+			h.hybridSharedWrite(req, e, sharers)
+			return
+		}
+
+		// Delegation decision (§2.3.1).
+		if decision == protocol.Delegate {
 			h.st.Delegations++
 			if o := h.obs; o != nil {
 				o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindDelegate, Node: h.id,
@@ -567,6 +591,63 @@ func (h *Hub) adaptDelayUpIfRewrite(e *directory.Entry) {
 		cur = maxAdaptiveDelay
 	}
 	e.DelayHint = cur
+}
+
+// hybridSharedWrite commits a shared write at the home and pushes the
+// fresh data to the current sharers instead of invalidating them (the
+// protocol.PushUpdates decision — hybrid update/invalidate). The line
+// stays Shared with home memory as the single ordering point: the
+// writer's store commits here on its behalf, each sharer gets an
+// UpdateData push and acknowledges to the home whether it kept its copy,
+// and the last ack grants the writer a clean Shared copy of the new
+// version. Until the round drains, both reads and writes to the line
+// NACK (see homeRead/homeWrite), which is what makes clearing a
+// dropped sharer's presence bit sound under message reordering.
+func (h *Hub) hybridSharedWrite(req *msg.Message, e *directory.Entry, targets msg.Vector) {
+	// In the Shared state home memory holds the latest version, so the
+	// oracle sees a legal store by the requester.
+	v := h.gl.write(req.Requester, req.Addr, e.MemVersion)
+	e.MemVersion = v
+	e.Sharers = targets.Set(req.Requester)
+	e.Pending = req.Requester
+	e.PendingExcl = false
+	e.PendingTxn = req.Txn
+	e.UpdatesInFlight = targets.Count()
+	for vec := targets; !vec.Empty(); vec = vec.ClearLowest() {
+		c := vec.Lowest()
+		h.st.UpdatesSent++
+		if o := h.obs; o != nil {
+			o.Emit(obs.Event{At: h.eng.Now(), Kind: obs.KindUpdatePush, Node: h.id,
+				Addr: req.Addr, Arg: uint64(c), Arg2: v})
+		}
+		h.emitAfter(h.cfg.DirLatency, msg.Message{
+			Type: msg.UpdateData, Src: h.id, Dst: c, Addr: req.Addr,
+			Requester: req.Requester, Version: v, Txn: req.Txn,
+		})
+	}
+}
+
+// homeUpdateAck settles one sharer's response to a hybrid update round.
+// Sharers that dropped their copy leave the sharing vector; the last ack
+// grants the waiting writer.
+func (h *Hub) homeUpdateAck(m *msg.Message) {
+	e := h.dir.Entry(m.Addr)
+	if e.State != directory.Shared || e.UpdatesInFlight == 0 || e.PendingTxn != m.Txn {
+		return // not a round this entry is running
+	}
+	if !m.Kept {
+		e.Sharers = e.Sharers.Clear(m.Src)
+	}
+	e.UpdatesInFlight--
+	if e.UpdatesInFlight > 0 {
+		return
+	}
+	writer := e.Pending
+	e.Pending = msg.None
+	h.emitAfter(h.cfg.DirLatency, msg.Message{
+		Type: msg.UpdateGrant, Src: h.id, Dst: writer, Addr: m.Addr,
+		Requester: writer, Version: e.MemVersion, Txn: e.PendingTxn,
+	})
 }
 
 // pushUpdates sends speculative updates to the target set.

@@ -11,6 +11,7 @@ import (
 	"pccsim/internal/msg"
 	"pccsim/internal/network"
 	"pccsim/internal/obs"
+	"pccsim/internal/protocol"
 	"pccsim/internal/rac"
 	"pccsim/internal/sim"
 	"pccsim/internal/stats"
@@ -28,6 +29,11 @@ type Hub struct {
 	mm  *mem.Memory
 	st  *stats.Stats
 	gl  *global
+	// proto/caps are the machine's resolved coherence protocol and its
+	// capabilities, copied here so home-FSM decision points dispatch
+	// without an indirection through sys.
+	proto protocol.Protocol
+	caps  protocol.Capabilities
 	// obs receives this hub's protocol events: the system sink when
 	// single-engine, the hub's shard staging buffer when sharded, nil
 	// when observability is off (AttachObs wires it either way).
@@ -91,6 +97,11 @@ type mshr struct {
 	upgVer   uint64 // version of the Shared copy at upgrade issue time
 	done     func()
 
+	// updateWrite marks a write completed by a hybrid UpdateGrant: the
+	// store committed at the home, so the fill is a clean Shared copy
+	// and the local store/ownership steps are skipped.
+	updateWrite bool
+
 	dataReady  bool
 	version    uint64
 	fillState  cache.State
@@ -150,18 +161,20 @@ func (m *mshr) class() stats.MissClass {
 func newHub(sys *System, id msg.NodeID, st *stats.Stats) *Hub {
 	cfg := &sys.Cfg
 	h := &Hub{
-		id:   id,
-		sys:  sys,
-		cfg:  cfg,
-		eng:  sys.EngFor(id),
-		net:  sys.Net,
-		mm:   sys.Mem,
-		st:   st,
-		gl:   sys.glob,
-		l1:   cache.New(cfg.L1Bytes, cfg.L1Ways, cfg.L1LineBytes),
-		l2:   cache.New(cfg.L2Bytes, cfg.L2Ways, cfg.L2LineBytes),
-		dir:  directory.New(),
-		dirc: directory.NewDirCache(cfg.DirCacheEntries, 4),
+		id:    id,
+		sys:   sys,
+		cfg:   cfg,
+		eng:   sys.EngFor(id),
+		net:   sys.Net,
+		mm:    sys.Mem,
+		st:    st,
+		gl:    sys.glob,
+		proto: sys.proto,
+		caps:  sys.caps,
+		l1:    cache.New(cfg.L1Bytes, cfg.L1Ways, cfg.L1LineBytes),
+		l2:    cache.New(cfg.L2Bytes, cfg.L2Ways, cfg.L2LineBytes),
+		dir:   directory.New(),
+		dirc:  directory.NewDirCache(cfg.DirCacheEntries, 4),
 	}
 	if cfg.RACBytes > 0 {
 		h.rc = rac.New(cfg.RACBytes, cfg.RACWays, cfg.L2LineBytes)
@@ -259,6 +272,13 @@ func (h *Hub) Access(addr msg.Addr, write bool, done func()) {
 				panic(fmt.Sprintf("core: node %d L1 hit without L2 line %#x", h.id, uint64(line)))
 			}
 			h.st.L1Hits++
+			if h.caps.HybridUpdates && l2l.Streak > 0 {
+				// A pushed update is being read: the hybrid protocol's
+				// win case (the read would have missed under
+				// write-invalidate).
+				h.noteUpdateUseful(line, l2l.Version)
+				l2l.Streak = 0
+			}
 			h.gl.observe(h.id, line, l2l.Version)
 			h.eng.After(h.cfg.L1Latency, done)
 			return
@@ -276,6 +296,10 @@ func (h *Hub) Access(addr msg.Addr, write bool, done func()) {
 	if l2l := h.l2.Touch(line); l2l != nil {
 		if !write {
 			h.st.L2Hits++
+			if h.caps.HybridUpdates && l2l.Streak > 0 {
+				h.noteUpdateUseful(line, l2l.Version)
+				l2l.Streak = 0
+			}
 			h.fillL1(addr)
 			h.gl.observe(h.id, line, l2l.Version)
 			h.eng.After(h.cfg.L2Latency, done)
@@ -288,7 +312,12 @@ func (h *Hub) Access(addr msg.Addr, write bool, done func()) {
 			h.eng.After(h.cfg.L2Latency, done)
 			return
 		}
-		// Shared: upgrade transaction.
+		// Shared: upgrade transaction. Updates pushed to this copy and
+		// never read die here (the write overwrites them).
+		if h.caps.HybridUpdates && l2l.Streak > 0 {
+			h.st.UpdatesWasted += uint64(l2l.Streak)
+			l2l.Streak = 0
+		}
 		h.startMiss(addr, line, true, done)
 		return
 	}
@@ -511,6 +540,7 @@ func (h *Hub) issue(m *mshr) {
 	m.acksGot = 0
 	m.invalidated = false
 	m.pcHint = false
+	m.updateWrite = false
 	m.target = h.id
 	h.txnSeq++
 	m.txn = h.txnSeq
@@ -592,7 +622,7 @@ func (h *Hub) tryComplete(m *mshr) {
 	}
 
 	l2l := h.fillL2(m.addr, m.fillState, m.version, false)
-	if m.wantExcl {
+	if m.wantExcl && !m.updateWrite {
 		l2l.Grant = m.txn // ownership epoch (see msg.Message.GrantTxn)
 		h.doStore(l2l)
 	}

@@ -8,6 +8,7 @@ import (
 	"pccsim/internal/msg"
 	"pccsim/internal/network"
 	"pccsim/internal/obs"
+	"pccsim/internal/protocol"
 	"pccsim/internal/sim"
 	"pccsim/internal/stats"
 )
@@ -48,6 +49,10 @@ type System struct {
 	Obs *obs.Sink
 	// NodeStats holds each node's counters; Aggregate folds them.
 	NodeStats []*stats.Stats
+	// proto is the resolved coherence protocol (Cfg.Protocol) and caps
+	// its declared capabilities; both are fixed at construction.
+	proto protocol.Protocol
+	caps  protocol.Capabilities
 	// NetStats accumulates interconnect traffic (shared by all sends).
 	// It is nil on a sharded system, where each shard collects its own
 	// slice; Aggregate folds them in either mode.
@@ -106,7 +111,9 @@ func NewSystem(cfg Config) (*System, error) {
 		Mem:       mem.New(mem.FirstTouch, cfg.Nodes, 4096),
 		glob:      newGlobal(cfg.CheckInvariants),
 		NodeStats: make([]*stats.Stats, cfg.Nodes),
+		proto:     cfg.protocolImpl(),
 	}
+	sys.caps = sys.proto.Capabilities()
 	if n := cfg.Shards; n > 1 {
 		sys.shardOf = make([]int, cfg.Nodes)
 		for i := range sys.shardOf {
@@ -164,6 +171,9 @@ func MustNewSystem(cfg Config) *System {
 	}
 	return s
 }
+
+// Protocol returns the machine's resolved coherence protocol.
+func (s *System) Protocol() protocol.Protocol { return s.proto }
 
 // Sharded reports whether the system runs on the shard-group scheduler.
 func (s *System) Sharded() bool { return s.grp != nil }

@@ -8,6 +8,7 @@ import (
 	"pccsim/internal/core"
 	"pccsim/internal/msg"
 	"pccsim/internal/obs"
+	"pccsim/internal/protocol"
 	"pccsim/internal/sim"
 	"pccsim/internal/stats"
 )
@@ -25,6 +26,13 @@ type Machine struct {
 
 	L2Lines  int `json:"l2_lines"`  // L2 capacity in 128 B lines (2-way)
 	RACLines int `json:"rac_lines"` // RAC capacity in lines; 0 disables
+
+	// Protocol names the coherence protocol the case runs under; empty
+	// means the default ("adaptive", the paper's protocol), which is what
+	// every corpus repro written before the plugin architecture replays
+	// as. Part of the repro identity: a failure under one protocol must
+	// replay under the same one.
+	Protocol string `json:"protocol,omitempty"`
 
 	DelegateEntries int  `json:"delegate_entries,omitempty"`
 	Updates         bool `json:"updates,omitempty"`
@@ -141,6 +149,23 @@ func (c *Case) Validate() error {
 	if m.SelfInvalidate && (m.DelegateEntries > 0 || m.Updates) {
 		return fmt.Errorf("fault: self-invalidation excludes delegation/updates")
 	}
+	p, err := protocol.Lookup(m.Protocol)
+	if err != nil {
+		return fmt.Errorf("fault: %w", err)
+	}
+	caps := p.Capabilities()
+	if m.DelegateEntries > 0 && !caps.Delegation {
+		return fmt.Errorf("fault: protocol %s has no delegation", p.Name())
+	}
+	if m.Updates && !caps.SpeculativeUpdates {
+		return fmt.Errorf("fault: protocol %s has no speculative updates", p.Name())
+	}
+	if m.SelfInvalidate && !caps.SelfInvalidation {
+		return fmt.Errorf("fault: protocol %s has no self-invalidation", p.Name())
+	}
+	if m.Adaptive && !caps.AdaptiveDelay {
+		return fmt.Errorf("fault: protocol %s has no adaptive delay", p.Name())
+	}
 	for i, op := range c.Ops {
 		if op.Node < 0 || op.Node >= m.Nodes {
 			return fmt.Errorf("fault: op %d targets node %d of %d", i, op.Node, m.Nodes)
@@ -165,6 +190,7 @@ func (c *Case) BuildConfig() core.Config {
 	m := &c.Machine
 	cfg := core.DefaultConfig()
 	cfg.Nodes = m.Nodes
+	cfg.Protocol = m.Protocol
 	cfg.L1Bytes, cfg.L1Ways, cfg.L1LineBytes = 128, 2, 32
 	cfg.L2Bytes, cfg.L2Ways = m.L2Lines*lineBytes, 2
 	cfg.RACBytes, cfg.RACWays = m.RACLines*lineBytes, 2

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"pccsim/internal/mcheck"
+	"pccsim/internal/protocol"
 )
 
 // GenOpts tunes case generation. The zero value is the nightly-campaign
@@ -13,6 +14,11 @@ type GenOpts struct {
 	// (most with updates), so every case can exercise the producer-table
 	// races. Used by bug-injection tests targeting undelegation.
 	ForceDelegation bool
+	// Protocol pins every generated machine to one registered protocol,
+	// restricting flavors to capability-legal mechanism sets ("mesi" never
+	// draws a delegation machine). Empty = mixed, mostly adaptive. The name
+	// must be valid; pccfuzz validates it before the campaign starts.
+	Protocol string
 	// ExtraRules are appended to every generated fault schedule — the bug
 	// injection hook (e.g. a Drop rule planting a lost-NACK bug).
 	ExtraRules []Rule
@@ -50,18 +56,46 @@ func genMachine(rng *rand.Rand, opts GenOpts) Machine {
 	if opts.ForceDelegation {
 		flavor = 4 + rng.Intn(6)
 	}
+	if opts.Protocol != "" {
+		// Pinning to a protocol restricts flavors to its capabilities:
+		// plain machines for invalidate/update protocols, the DSI flavor
+		// for dsi, anything for the fully-capable adaptive protocol.
+		p, err := protocol.Lookup(opts.Protocol)
+		if err != nil {
+			panic("fault: GenOpts.Protocol not validated: " + err.Error())
+		}
+		switch caps := p.Capabilities(); {
+		case caps.Delegation:
+		case caps.SelfInvalidation:
+			flavor = 2
+		default:
+			flavor = rng.Intn(2)
+		}
+	}
 	switch {
 	case flavor <= 1: // plain directory protocol
-		// nothing
+		// Exercise the write-invalidate competitors too: the base
+		// machine behaves identically under adaptive/mesi on the fast
+		// path, and "hybrid" brings its update-push rounds into the
+		// fuzzed surface.
+		m.Protocol = []string{"", "mesi", "hybrid", "hybrid"}[rng.Intn(4)]
+		if opts.Protocol != "" {
+			m.Protocol = opts.Protocol
+		}
 	case flavor == 2: // dynamic self-invalidation baseline
 		m.SelfInvalidate = true
-	default: // delegation, mostly with speculative updates
+		m.Protocol = []string{"", "dsi"}[rng.Intn(2)]
+		if opts.Protocol != "" {
+			m.Protocol = opts.Protocol
+		}
+	default: // delegation, mostly with speculative updates (adaptive only)
 		if m.RACLines == 0 {
 			m.RACLines = []int{2, 4, 8}[rng.Intn(3)]
 		}
 		m.DelegateEntries = 1 + rng.Intn(4)
 		m.Updates = flavor >= 6
 		m.Adaptive = m.Updates && rng.Intn(2) == 0
+		m.Protocol = opts.Protocol // "" or "adaptive": the only delegation-capable protocol
 	}
 	if rng.Intn(100) < 15 {
 		m.DetectorWriters = 2
@@ -209,7 +243,7 @@ var raceTypes = []string{
 	"GetShared", "GetExcl", "Upgrade",
 	"Intervention", "Invalidate", "SharedWriteback",
 	"Delegate", "Undelegate", "UndelegateAck", "NewHomeHint",
-	"Update", "UpdateAck",
+	"Update", "UpdateAck", "UpdateData", "UpdateGrant",
 }
 
 var requestTypes = []string{"GetShared", "GetExcl", "Upgrade"}

@@ -169,6 +169,7 @@ type Report struct {
 	Table3     map[string][5]float64 `json:"table3,omitempty"`
 	Ablation   []AblationRow         `json:"ablation,omitempty"`
 	Extensions []ExtRow              `json:"extensions,omitempty"`
+	Compare    []CompareRow          `json:"compare,omitempty"`
 }
 
 // RunAll executes every experiment on one shared session — so cells that
@@ -205,6 +206,9 @@ func RunAll(opts Options) (*Report, error) {
 		return nil, err
 	}
 	if rep.Extensions, err = s.Extensions(); err != nil {
+		return nil, err
+	}
+	if rep.Compare, err = s.Compare(); err != nil {
 		return nil, err
 	}
 	return rep, nil

@@ -213,6 +213,13 @@ const (
 	// eagerly downgrades after its write burst and sends the data home,
 	// converting later 3-hop reads into 2-hop home hits.
 	EagerWriteback // owner -> home: voluntary downgrade data
+	// Hybrid update/invalidate (Dovgopol & Rosonke, arXiv:1502.00101):
+	// the home commits a shared write in place and pushes the fresh
+	// data to the sharers instead of invalidating them. Sharers
+	// acknowledge to the home (Kept reports whether they retained the
+	// copy); the home grants the writer once the round completes.
+	UpdateData  // home -> sharer: pushed fresh data for a shared write
+	UpdateGrant // home -> writer: hybrid shared write committed
 )
 
 var typeNames = [...]string{
@@ -241,6 +248,8 @@ var typeNames = [...]string{
 	Update:          "Update",
 	UpdateAck:       "UpdateAck",
 	EagerWriteback:  "EagerWriteback",
+	UpdateData:      "UpdateData",
+	UpdateGrant:     "UpdateGrant",
 }
 
 // NumTypes is the number of distinct message types.
@@ -271,7 +280,7 @@ func (t Type) CarriesData() bool {
 	switch t {
 	case SharedReply, ExclReply, SharedResponse, ExclResponse,
 		SharedWriteback, Writeback, Update, Delegate, Undelegate,
-		EagerWriteback:
+		EagerWriteback, UpdateData, UpdateGrant:
 		return true
 	}
 	return false
@@ -340,6 +349,11 @@ type Message struct {
 	// those belong to an ownership already ended by a crossing
 	// writeback, which the home completes from instead.
 	GrantTxn uint64
+
+	// Kept reports, in a hybrid UpdateAck, whether the sharer retained
+	// its copy after applying (or dropping) the pushed update; the home
+	// clears the sharer's presence bit when false.
+	Kept bool
 
 	// Txn is the requester's transaction number (the hardware analogue
 	// is the CRB/TNUM of SGI hubs). Replies, NACKs and invalidation

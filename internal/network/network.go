@@ -213,6 +213,7 @@ func (n *Network) Send(m *msg.Message) {
 		return
 	}
 	n.st.RecordMsg(m)
+	n.st.RecordHops(n.Hops(m.Src, m.Dst))
 	now := n.eng.Now()
 	if n.Obs != nil {
 		n.Obs.Emit(obs.Event{

@@ -139,6 +139,7 @@ func (n *Network) sendSharded(m *msg.Message) {
 	src := n.shardOf[m.Src]
 	e := n.sh[src]
 	e.st.RecordMsg(m)
+	e.st.RecordHops(n.Hops(m.Src, m.Dst))
 	now := e.eng.Now()
 	if e.obs != nil {
 		e.obs.Emit(obs.Event{

@@ -1,0 +1,152 @@
+package node
+
+import (
+	"fmt"
+	"testing"
+
+	"pccsim/internal/core"
+	"pccsim/internal/cpu"
+	"pccsim/internal/msg"
+	"pccsim/internal/protocol"
+	"pccsim/internal/workload"
+)
+
+// protocolConfig builds a mechanism configuration for proto that enables
+// everything its capabilities allow, mirroring how the compare harness
+// provisions each contender: the adaptive protocol gets a RAC,
+// delegation and speculative updates; dsi gets self-invalidation; plain
+// write-invalidate protocols (mesi, hybrid) run the base machine.
+func protocolConfig(nodes int, proto protocol.Protocol) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Protocol = proto.Name()
+	cfg.CheckInvariants = true
+	caps := proto.Capabilities()
+	if caps.Delegation {
+		cfg = cfg.With(core.WithRAC(32), core.WithDelegation(32))
+		if caps.SpeculativeUpdates {
+			cfg = cfg.With(core.WithSpeculativeUpdates(0))
+		}
+	}
+	if caps.SelfInvalidation && !caps.Delegation {
+		cfg.SelfInvalidate = true
+	}
+	return cfg
+}
+
+// TestAllWorkloadsAllProtocols is the cross-protocol invariant suite:
+// every registered protocol runs every bundled workload with runtime
+// coherence checking armed (stale-write and backwards-read panics in the
+// version oracle), then the whole-machine SWMR/directory sweep and the
+// end-state value check. The protocol name is in the subtest path, so a
+// failure names its protocol.
+func TestAllWorkloadsAllProtocols(t *testing.T) {
+	const nodes = 8
+	params := workload.Params{Nodes: nodes, Scale: 1, Iters: 2}
+	for _, proto := range protocol.All() {
+		for _, wl := range workload.All() {
+			t.Run(fmt.Sprintf("%s/%s", proto.Name(), wl.Name), func(t *testing.T) {
+				cfg := protocolConfig(nodes, proto)
+				m, err := New(cfg)
+				if err != nil {
+					t.Fatalf("protocol %s: %v", proto.Name(), err)
+				}
+				ops := wl.Build(params)
+				streams := make([]cpu.Stream, len(ops))
+				for i := range ops {
+					streams[i] = &cpu.SliceStream{Ops: ops[i]}
+				}
+				st, err := m.Run(streams)
+				if err != nil {
+					t.Fatalf("protocol %s on %s: %v", proto.Name(), wl.Name, err)
+				}
+				if st.ExecCycles == 0 {
+					t.Fatalf("protocol %s on %s: zero makespan", proto.Name(), wl.Name)
+				}
+				m.Sys.CheckAll()
+				if err := m.Sys.VerifyValues(); err != nil {
+					t.Fatalf("protocol %s on %s: %v", proto.Name(), wl.Name, err)
+				}
+			})
+		}
+	}
+}
+
+// TestHybridPushesUpdates drives a stable producer-consumer pattern and
+// checks the hybrid protocol actually exercises its update path: pushes
+// go out, stable readers consume them as local hits, and the round
+// bookkeeping drains (Machine.Run's QuiesceCheck).
+func TestHybridPushesUpdates(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Protocol = "hybrid"
+	cfg.CheckInvariants = true
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 writes a line, nodes 1..3 read it, repeatedly with
+	// barriers: the detector marks it producer-consumer and every later
+	// write becomes an update round.
+	const line = msg.Addr(0x4000)
+	const rounds = 12
+	streams := make([]cpu.Stream, 4)
+	for i := 0; i < 4; i++ {
+		var ops []cpu.Op
+		for r := 0; r < rounds; r++ {
+			if i == 0 {
+				ops = append(ops, cpu.Op{Kind: cpu.Store, Addr: line})
+			} else {
+				ops = append(ops, cpu.Op{Kind: cpu.Load, Addr: line})
+			}
+			ops = append(ops, cpu.Op{Kind: cpu.Barrier, Bar: r})
+		}
+		streams[i] = &cpu.SliceStream{Ops: ops}
+	}
+	st, err := m.Run(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UpdatesSent == 0 {
+		t.Fatal("hybrid protocol sent no updates on a stable producer-consumer pattern")
+	}
+	if st.UpdatesUseful == 0 {
+		t.Fatal("no pushed update was consumed by a read")
+	}
+	m.Sys.CheckAll()
+	if err := m.Sys.VerifyValues(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Sys.LatestVersion(line), uint64(rounds); got != want {
+		t.Fatalf("line reached version %d, want %d", got, want)
+	}
+}
+
+// TestProtocolCapabilityRejection pins the capability-degradation
+// contract: a configuration that switches on a mechanism outside the
+// selected protocol's capabilities is rejected at construction with an
+// error wrapping both core.ErrBadConfig and protocol.ErrUnknown (for
+// unknown names) — not silently ignored.
+func TestProtocolCapabilityRejection(t *testing.T) {
+	base := core.DefaultConfig()
+	base.Nodes = 4
+	cases := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"mesi-delegation", base.With(core.WithProtocol("mesi"), core.WithRAC(32), core.WithDelegation(32))},
+		{"hybrid-updates", base.With(core.WithProtocol("hybrid"), core.WithRAC(32), core.WithDelegation(32), core.WithSpeculativeUpdates(0))},
+		{"mesi-selfinval", base.With(core.WithProtocol("mesi"), core.WithSelfInvalidation())},
+		{"dsi-adaptive-delay", base.With(core.WithProtocol("dsi"), core.WithAdaptiveDelay())},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.cfg); err == nil {
+				t.Fatalf("%s: configuration outside protocol capabilities was accepted", c.name)
+			}
+		})
+	}
+	if _, err := New(base.With(core.WithProtocol("mosi"))); err == nil {
+		t.Fatal("unknown protocol name was accepted")
+	}
+}

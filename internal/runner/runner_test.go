@@ -43,6 +43,8 @@ func mutate(v reflect.Value, fieldPath []int, t *testing.T) string {
 		f.SetUint(f.Uint() + 1)
 	case reflect.Bool:
 		f.SetBool(!f.Bool())
+	case reflect.String:
+		f.SetString(f.String() + "x")
 	default:
 		t.Fatalf("field %s has unsupported kind %s — teach this test (and check Fingerprint handles it)",
 			name, f.Kind())

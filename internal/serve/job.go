@@ -116,6 +116,7 @@ func (j *Job) status() Status {
 type runSpec struct {
 	Kind            string  `json:"kind"`
 	Workload        string  `json:"workload"`
+	Protocol        string  `json:"protocol"`
 	Nodes           int     `json:"nodes"`
 	Scale           int     `json:"scale"`
 	Iters           int     `json:"iters"`
@@ -156,6 +157,7 @@ func (sp *runSpec) build() (*runCell, error) {
 	}
 	cfg := core.DefaultConfig()
 	cfg.Nodes = sp.Nodes
+	cfg.Protocol = sp.Protocol
 	cfg.RACBytes = sp.RAC
 	cfg.DelegateEntries = sp.Deledc
 	cfg.EnableUpdates = sp.Updates && sp.RAC > 0 && sp.Deledc > 0
@@ -169,6 +171,12 @@ func (sp *runSpec) build() (*runCell, error) {
 	}
 	if sp.AdaptiveWindows {
 		cfg = cfg.With(core.WithAdaptiveWindows())
+	}
+	// Full config validation here means an unknown protocol name or a
+	// mechanism the protocol can't honor is a 400 at submission, not a
+	// failed job later.
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	return &runCell{cfg: cfg, wl: wl,
 		params: workload.Params{Nodes: sp.Nodes, Scale: sp.Scale, Iters: sp.Iters}}, nil
@@ -305,6 +313,7 @@ type fuzzSpec struct {
 	Workers     int    `json:"workers"`
 	Shrink      *int   `json:"shrink"`
 	MaxFailures *int   `json:"max_failures"`
+	Protocol    string `json:"protocol"` // pin generation to one protocol ("" = mixed)
 }
 
 // fuzzResult is a fuzz job's JSON body. Shrunk reproductions ride along
@@ -349,7 +358,8 @@ func (s *Server) execFuzz(j *Job, sp *fuzzSpec) error {
 	}
 	cr := fault.RunCampaign(fault.CampaignOpts{
 		Seed: sp.Seed, Cases: sp.Cases, Budget: budget, Workers: sp.Workers,
-		ShrinkRuns: shrink, MaxFailures: maxFail, Log: jobLog{j},
+		ShrinkRuns: shrink, MaxFailures: maxFail,
+		Gen: fault.GenOpts{Protocol: sp.Protocol}, Log: jobLog{j},
 	})
 	res := fuzzResult{
 		Ok: len(cr.Failures) == 0, Cases: cr.Cases, Perturbed: cr.Perturbed,

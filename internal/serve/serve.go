@@ -29,6 +29,7 @@ import (
 	"pccsim/internal/cpu"
 	"pccsim/internal/node"
 	"pccsim/internal/obs"
+	"pccsim/internal/protocol"
 	"pccsim/internal/runner"
 	"pccsim/internal/sim"
 )
@@ -202,6 +203,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if sp.Budget != "" {
 			if _, err := time.ParseDuration(sp.Budget); err != nil {
 				httpError(w, http.StatusBadRequest, "fuzz budget: %v", err)
+				return
+			}
+		}
+		if sp.Protocol != "" {
+			if _, err := protocol.Lookup(sp.Protocol); err != nil {
+				httpError(w, http.StatusBadRequest, "fuzz protocol: %v", err)
 				return
 			}
 		}

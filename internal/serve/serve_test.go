@@ -141,11 +141,14 @@ func TestSubmitOverQuota(t *testing.T) {
 func TestSubmitRejectsBadSpecs(t *testing.T) {
 	s := idleServer(4, -1)
 	for name, body := range map[string]string{
-		"malformed json":   `{"workload"`,
-		"unknown kind":     `{"kind":"exploit"}`,
-		"unknown field":    `{"workload":"em3d","nodse":8}`,
-		"unknown workload": `{"workload":"quicksort"}`,
-		"bad fuzz budget":  `{"kind":"fuzz","budget":"yesterday"}`,
+		"malformed json":        `{"workload"`,
+		"unknown kind":          `{"kind":"exploit"}`,
+		"unknown field":         `{"workload":"em3d","nodse":8}`,
+		"unknown workload":      `{"workload":"quicksort"}`,
+		"bad fuzz budget":       `{"kind":"fuzz","budget":"yesterday"}`,
+		"unknown protocol":      `{"workload":"em3d","protocol":"mosi"}`,
+		"illegal mechanisms":    `{"workload":"em3d","protocol":"mesi","rac":32768,"deledc":32}`,
+		"unknown fuzz protocol": `{"kind":"fuzz","cases":1,"protocol":"mosi"}`,
 	} {
 		rr := do(s.Handler(), "POST", "/v1/jobs", "", body)
 		if rr.Code != http.StatusBadRequest {
@@ -268,6 +271,30 @@ func TestTraceMatchesStoredResult(t *testing.T) {
 	}
 	if !strings.Contains(rr.Body.String(), "traceEvents") {
 		t.Error("trace body is not Perfetto trace-event JSON")
+	}
+}
+
+// TestRunWithProtocol submits the same cell under two protocols; both
+// complete, and the reports differ (different protocols really ran).
+func TestRunWithProtocol(t *testing.T) {
+	s := liveServer(t, Config{Workers: 2, QueueDepth: 8, RunnerWorkers: 1})
+	// Four iterations: enough rounds for hybrid's update streak to engage,
+	// so the two reports are observably different protocols.
+	a := submit(t, s, "", `{"workload":"em3d","nodes":8,"scale":1,"iters":4,"protocol":"mesi"}`)
+	b := submit(t, s, "", `{"workload":"em3d","nodes":8,"scale":1,"iters":4,"protocol":"hybrid"}`)
+	sa := waitFor(t, s, a.ID, isTerminal, "terminal")
+	sb := waitFor(t, s, b.ID, isTerminal, "terminal")
+	if sa.State != StateDone || sb.State != StateDone {
+		t.Fatalf("states = %s, %s, want both %s (%s / %s)",
+			sa.State, sb.State, StateDone, sa.Error, sb.Error)
+	}
+	ra := do(s.Handler(), "GET", "/v1/jobs/"+a.ID+"/result", "", "")
+	rb := do(s.Handler(), "GET", "/v1/jobs/"+b.ID+"/result", "", "")
+	if ra.Code != http.StatusOK || rb.Code != http.StatusOK {
+		t.Fatalf("results: got %d and %d", ra.Code, rb.Code)
+	}
+	if ra.Body.String() == rb.Body.String() {
+		t.Error("mesi and hybrid runs returned identical reports")
 	}
 }
 

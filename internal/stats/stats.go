@@ -86,6 +86,7 @@ type Stats struct {
 	// Interconnect.
 	MsgCount [msg.NumTypes]uint64
 	MsgBytes [msg.NumTypes]uint64
+	HopSum   uint64 // total network hops over all packets (0 for node-local)
 
 	// Protocol events.
 	Retries        uint64 // request retries after a NACK
@@ -114,6 +115,9 @@ func (s *Stats) RecordMsg(m *msg.Message) {
 	s.MsgCount[m.Type]++
 	s.MsgBytes[m.Type] += uint64(m.Bytes())
 }
+
+// RecordHops accounts the network distance one packet travelled.
+func (s *Stats) RecordHops(n int) { s.HopSum += uint64(n) }
 
 // RecordMiss accounts a satisfied L2 miss.
 func (s *Stats) RecordMiss(c MissClass) { s.Misses[c]++ }
@@ -176,6 +180,15 @@ func (s *Stats) TotalBytes() uint64 {
 	return t
 }
 
+// AvgHops is the mean network distance per packet (node-local packets
+// count as zero hops).
+func (s *Stats) AvgHops() float64 {
+	if t := s.TotalMessages(); t > 0 {
+		return float64(s.HopSum) / float64(t)
+	}
+	return 0
+}
+
 // Nacks is the number of NACK packets (both flavours).
 func (s *Stats) Nacks() uint64 {
 	return s.MsgCount[msg.Nack] + s.MsgCount[msg.NackNotHome]
@@ -233,6 +246,7 @@ func (s *Stats) Add(other *Stats) {
 		s.MsgCount[i] += other.MsgCount[i]
 		s.MsgBytes[i] += other.MsgBytes[i]
 	}
+	s.HopSum += other.HopSum
 	s.Retries += other.Retries
 	s.Interventions += other.Interventions
 	s.Invalidations += other.Invalidations

@@ -58,9 +58,20 @@
 // # Errors
 //
 // Failures are classified by sentinel: ErrUnknownWorkload (bad benchmark
-// name), ErrBadConfig (Config.Validate rejection), ErrRunaway (watchdog
-// abort on a livelocked run; errors.As recovers the *RunawayError
-// diagnostics). All are matched with errors.Is through any wrapping.
+// name), ErrUnknownProtocol (bad coherence-protocol name), ErrBadConfig
+// (Config.Validate rejection), ErrRunaway (watchdog abort on a livelocked
+// run; errors.As recovers the *RunawayError diagnostics). All are matched
+// with errors.Is through any wrapping.
+//
+// # Protocols
+//
+// The directory's sharing policy is pluggable. Protocols lists the
+// registered coherence protocols and WithProtocol selects one; the
+// default, "adaptive", is the paper's protocol. "mesi" is the plain
+// write-invalidate baseline, "hybrid" pushes updates to stable sharer
+// sets (Dovgopol & Rosonke), and "dsi" is the dynamic self-invalidation
+// related work. Config.Validate rejects mechanisms outside the selected
+// protocol's capabilities (e.g. WithDelegation under "mesi").
 package pccsim
 
 import (
@@ -72,6 +83,7 @@ import (
 	"pccsim/internal/msg"
 	"pccsim/internal/node"
 	"pccsim/internal/obs"
+	"pccsim/internal/protocol"
 	"pccsim/internal/sim"
 	"pccsim/internal/stats"
 	"pccsim/internal/trace"
@@ -127,6 +139,13 @@ func WithSelfInvalidation() Option { return core.WithSelfInvalidation() }
 // WithAdaptiveDelay enables the §5 per-line learned intervention delay.
 func WithAdaptiveDelay() Option { return core.WithAdaptiveDelay() }
 
+// WithProtocol selects the coherence protocol by name; see Protocols for
+// the registered set. The empty name keeps the default ("adaptive", the
+// paper's protocol). New fails with ErrUnknownProtocol for names not in
+// Protocols, and with ErrBadConfig when an enabled mechanism lies
+// outside the selected protocol's capabilities.
+func WithProtocol(name string) Option { return core.WithProtocol(name) }
+
 // WithShards partitions the simulated machine into n engine shards run
 // on worker goroutines, synchronized by conservative time windows (the
 // fast scheduler). n <= 1 keeps the classic single engine; n must not
@@ -153,6 +172,8 @@ func WithAdaptiveWindows() Option { return core.WithAdaptiveWindows() }
 var (
 	// ErrUnknownWorkload reports a benchmark name not in Workloads.
 	ErrUnknownWorkload = workload.ErrUnknown
+	// ErrUnknownProtocol reports a protocol name not in Protocols.
+	ErrUnknownProtocol = protocol.ErrUnknown
 	// ErrBadConfig reports a Config that fails validation.
 	ErrBadConfig = core.ErrBadConfig
 	// ErrRunaway reports a watchdog abort; errors.As against
@@ -178,6 +199,10 @@ func Workloads() []string {
 	}
 	return names
 }
+
+// Protocols lists the registered coherence protocols in sorted order;
+// pass a name to WithProtocol.
+func Protocols() []string { return protocol.Names() }
 
 // Machine is a ready-to-run simulated multiprocessor. A Machine runs one
 // program; build a fresh one per experiment so caches start cold.
